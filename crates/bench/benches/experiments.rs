@@ -1,0 +1,150 @@
+//! Criterion benches: scaled-down versions of every paper experiment.
+//!
+//! Each group times one experiment's core measurement at a reduced
+//! instruction budget so `cargo bench` finishes in minutes; the full-size
+//! numbers come from the `fig*`/`table*` binaries (see DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smtx_bench::{config_with_idle, limit_config, penalty_per_miss, run_kernel};
+use smtx_core::{ExnMechanism, LimitKnobs, Machine, MachineConfig};
+use smtx_workloads::{load_kernel, Kernel, MIXES};
+
+const INSTS: u64 = 8_000;
+const SEED: u64 = 42;
+
+/// Fig. 2: traditional-handler penalty vs. pipeline depth.
+fn fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_pipeline_depth");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for depth in [3u64, 7, 11] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let cfg = config_with_idle(ExnMechanism::Traditional, 1).with_pipe_depth(d);
+            b.iter(|| penalty_per_miss(Kernel::Compress, SEED, INSTS, &cfg));
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 3: width/window sweep.
+fn fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_width");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (w, win) in [(2usize, 32usize), (4, 64), (8, 128)] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &(w, win), |b, &(w, win)| {
+            let cfg = config_with_idle(ExnMechanism::Traditional, 1).with_width_window(w, win);
+            b.iter(|| run_kernel(Kernel::Murphi, SEED, INSTS, cfg.clone()).cycles);
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 5: the four main mechanisms.
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_mechanisms");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, mech, idle) in [
+        ("traditional", ExnMechanism::Traditional, 1usize),
+        ("multi1", ExnMechanism::Multithreaded, 1),
+        ("multi3", ExnMechanism::Multithreaded, 3),
+        ("hardware", ExnMechanism::Hardware, 1),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = config_with_idle(mech, idle);
+            b.iter(|| penalty_per_miss(Kernel::Vortex, SEED, INSTS, &cfg));
+        });
+    }
+    g.finish();
+}
+
+/// Table 3: limit-study knobs.
+fn table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_limits");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let knobs: [(&str, LimitKnobs); 4] = [
+        ("free_exec", LimitKnobs { free_execute_bandwidth: true, ..Default::default() }),
+        ("free_window", LimitKnobs { free_window: true, ..Default::default() }),
+        ("free_fetch", LimitKnobs { free_fetch_bandwidth: true, ..Default::default() }),
+        ("instant", LimitKnobs { instant_handler_fetch: true, ..Default::default() }),
+    ];
+    for (name, k) in knobs {
+        g.bench_function(name, |b| {
+            let cfg = limit_config(k);
+            b.iter(|| penalty_per_miss(Kernel::Compress, SEED, INSTS, &cfg));
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 6: quick-start.
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_quickstart");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, mech) in [
+        ("multi", ExnMechanism::Multithreaded),
+        ("quickstart", ExnMechanism::QuickStart),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = config_with_idle(mech, 1);
+            b.iter(|| penalty_per_miss(Kernel::Compress, SEED, INSTS, &cfg));
+        });
+    }
+    g.finish();
+}
+
+/// Table 4 core measurement: traditional vs. mechanism cycle counts.
+fn table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_speedup");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, mech) in [
+        ("traditional", ExnMechanism::Traditional),
+        ("quick3", ExnMechanism::QuickStart),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = config_with_idle(mech, 3);
+            b.iter(|| run_kernel(Kernel::Compress, SEED, INSTS, cfg.clone()).cycles);
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 7: one three-application mix per mechanism.
+fn fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_multiapp");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let mix = MIXES[7]; // cmp-gcc-mph
+    for (name, mech) in [
+        ("traditional", ExnMechanism::Traditional),
+        ("multi", ExnMechanism::Multithreaded),
+        ("hardware", ExnMechanism::Hardware),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let config = MachineConfig::paper_baseline(mech).with_threads(4);
+                let mut m = Machine::new(config);
+                for (tid, &k) in mix.iter().enumerate() {
+                    load_kernel(&mut m, tid, k, SEED + tid as u64);
+                    m.set_budget(tid, INSTS / 3);
+                }
+                m.run(u64::MAX).cycles
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(experiments, fig2, fig3, fig5, table3, fig6, table4, fig7);
+criterion_main!(experiments);

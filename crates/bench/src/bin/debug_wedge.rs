@@ -1,0 +1,41 @@
+//! Internal debugging aid: run a kernel and dump window state if the
+//! machine stops retiring. Not part of the experiment suite.
+
+use smtx_bench::config_with_idle;
+use smtx_core::ExnMechanism;
+use smtx_workloads::{load_kernel, Kernel};
+
+fn main() {
+    let mech = match std::env::args().nth(1).as_deref() {
+        Some("mt") => ExnMechanism::Multithreaded,
+        Some("hw") => ExnMechanism::Hardware,
+        Some("qs") => ExnMechanism::QuickStart,
+        _ => ExnMechanism::Traditional,
+    };
+    let mut m = smtx_core::Machine::new(config_with_idle(mech, 1));
+    load_kernel(&mut m, 0, Kernel::Compress, 42);
+    m.set_budget(0, 20_000);
+    let mut last_retired = 0;
+    let mut stuck = 0;
+    loop {
+        for _ in 0..1000 {
+            m.step_cycle();
+        }
+        let retired = m.stats().retired(0);
+        if retired >= 20_000 {
+            println!("finished at cycle {}", m.cycle());
+            return;
+        }
+        if retired == last_retired {
+            stuck += 1;
+            if stuck >= 20 {
+                println!("WEDGED at cycle {} retired {}", m.cycle(), retired);
+                println!("{}", m.debug_dump());
+                return;
+            }
+        } else {
+            stuck = 0;
+            last_retired = retired;
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 2: overhead of traditional software TLB-miss handling as a
+//! function of pipeline length (3, 7, 11 stages between fetch and execute),
+//! 8-wide machine.
+
+use smtx_bench::{config_with_idle, header, parse_args, penalty_per_miss, row};
+use smtx_core::ExnMechanism;
+use smtx_workloads::Kernel;
+
+fn main() {
+    let (insts, seed) = parse_args();
+    println!("Figure 2 — traditional-handler penalty cycles per miss vs. pipeline depth");
+    println!("paper: slope ~2 penalty cycles per pipe stage (two refills per trap)");
+    println!("per-thread instruction budget: {insts}\n");
+    let depths = [3u64, 7, 11];
+    println!(
+        "{}",
+        header(
+            "bench",
+            &depths.iter().map(|d| match d {
+                3 => "3 stages",
+                7 => "7 stages",
+                _ => "11 stages",
+            }).collect::<Vec<_>>()
+        )
+    );
+    let mut sums = vec![0.0; depths.len()];
+    for k in Kernel::ALL {
+        let cells: Vec<f64> = depths
+            .iter()
+            .map(|&d| {
+                let cfg = config_with_idle(ExnMechanism::Traditional, 1).with_pipe_depth(d);
+                penalty_per_miss(k, seed, smtx_bench::insts_for(k, seed, insts), &cfg)
+            })
+            .collect();
+        for (s, c) in sums.iter_mut().zip(&cells) {
+            *s += c;
+        }
+        println!("{}", row(k.name(), &cells));
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / Kernel::ALL.len() as f64).collect();
+    println!("{}", row("average", &avg));
+    let slope = (avg[2] - avg[0]) / 8.0;
+    println!("\nmeasured average slope: {slope:.2} penalty cycles per pipe stage");
+}

@@ -1,0 +1,47 @@
+//! Figure 3: relative share of execution time spent on traditional TLB-miss
+//! handling as a function of superscalar width (2-wide/32, 4-wide/64,
+//! 8-wide/128).
+//!
+//! The paper plots each width's TLB-time percentage relative to the 2-wide
+//! machine; a rising curve means wider machines lose a larger *fraction* of
+//! their time to miss handling.
+
+use smtx_bench::{config_with_idle, header, parse_args, row, run_kernel};
+use smtx_core::ExnMechanism;
+use smtx_workloads::Kernel;
+
+fn tlb_fraction(k: Kernel, seed: u64, insts: u64, width: usize, window: usize) -> f64 {
+    let cfg = config_with_idle(ExnMechanism::Traditional, 1).with_width_window(width, window);
+    let run = run_kernel(k, seed, insts, cfg);
+    let mut perfect = config_with_idle(ExnMechanism::PerfectTlb, 1).with_width_window(width, window);
+    perfect.mechanism = ExnMechanism::PerfectTlb;
+    let base = run_kernel(k, seed, insts, perfect);
+    (run.cycles as f64 - base.cycles as f64) / run.cycles as f64
+}
+
+fn main() {
+    let (insts, seed) = parse_args();
+    println!("Figure 3 — relative TLB execution percentage vs. superscalar width");
+    println!("paper: wider machines spend a larger share of time on TLB handling");
+    println!("values are normalized to the 2-wide machine (2-wide = 1.0)\n");
+    let sweep = [(2usize, 32usize), (4, 64), (8, 128)];
+    println!(
+        "{}",
+        header("bench", &["2w/32", "4w/64", "8w/128"])
+    );
+    let mut sums = vec![0.0; sweep.len()];
+    for k in Kernel::ALL {
+        let fracs: Vec<f64> = sweep
+            .iter()
+            .map(|&(w, win)| tlb_fraction(k, seed, smtx_bench::insts_for(k, seed, insts), w, win))
+            .collect();
+        let base = fracs[0].max(1e-9);
+        let cells: Vec<f64> = fracs.iter().map(|f| f / base).collect();
+        for (s, c) in sums.iter_mut().zip(&cells) {
+            *s += c;
+        }
+        println!("{}", row(k.name(), &cells));
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / Kernel::ALL.len() as f64).collect();
+    println!("{}", row("average", &avg));
+}

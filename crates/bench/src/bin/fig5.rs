@@ -1,0 +1,37 @@
+//! Figure 5: penalty cycles per TLB miss for the traditional software
+//! handler, multithreaded(1), multithreaded(3) and the hardware walker,
+//! per benchmark plus the average.
+
+use smtx_bench::{config_with_idle, header, parse_args, penalty_per_miss, row};
+use smtx_core::ExnMechanism;
+use smtx_workloads::Kernel;
+
+fn main() {
+    let (insts, seed) = parse_args();
+    println!("Figure 5 — relative TLB miss performance (penalty cycles per miss)");
+    println!("paper averages: traditional 22.7, multi(1) 11.7, multi(3) 11.0, hardware 7.3");
+    println!("per-thread instruction budget: {insts}\n");
+    let configs = [
+        ("traditional", config_with_idle(ExnMechanism::Traditional, 1)),
+        ("multi(1)", config_with_idle(ExnMechanism::Multithreaded, 1)),
+        ("multi(3)", config_with_idle(ExnMechanism::Multithreaded, 3)),
+        ("hardware", config_with_idle(ExnMechanism::Hardware, 1)),
+    ];
+    println!(
+        "{}",
+        header("bench", &configs.iter().map(|(n, _)| *n).collect::<Vec<_>>())
+    );
+    let mut sums = vec![0.0; configs.len()];
+    for k in Kernel::ALL {
+        let cells: Vec<f64> = configs
+            .iter()
+            .map(|(_, cfg)| penalty_per_miss(k, seed, smtx_bench::insts_for(k, seed, insts), cfg))
+            .collect();
+        for (s, c) in sums.iter_mut().zip(&cells) {
+            *s += c;
+        }
+        println!("{}", row(k.name(), &cells));
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / Kernel::ALL.len() as f64).collect();
+    println!("{}", row("average", &avg));
+}

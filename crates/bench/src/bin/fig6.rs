@@ -1,0 +1,41 @@
+//! Figure 6: performance of the quick-starting multithreaded handler —
+//! traditional, multithreaded(1), quick-start(1) and hardware per
+//! benchmark.
+
+use smtx_bench::{config_with_idle, header, parse_args, penalty_per_miss, row};
+use smtx_core::ExnMechanism;
+use smtx_workloads::Kernel;
+
+fn main() {
+    let (insts, seed) = parse_args();
+    println!("Figure 6 — quick-starting multithreaded handler (penalty cycles per miss)");
+    println!("paper: quick-start improves on multithreaded by ~1.7 cycles/miss on average");
+    println!("per-thread instruction budget: {insts}\n");
+    let configs = [
+        ("traditional", config_with_idle(ExnMechanism::Traditional, 1)),
+        ("multi(1)", config_with_idle(ExnMechanism::Multithreaded, 1)),
+        ("quick(1)", config_with_idle(ExnMechanism::QuickStart, 1)),
+        ("hardware", config_with_idle(ExnMechanism::Hardware, 1)),
+    ];
+    println!(
+        "{}",
+        header("bench", &configs.iter().map(|(n, _)| *n).collect::<Vec<_>>())
+    );
+    let mut sums = vec![0.0; configs.len()];
+    for k in Kernel::ALL {
+        let cells: Vec<f64> = configs
+            .iter()
+            .map(|(_, cfg)| penalty_per_miss(k, seed, smtx_bench::insts_for(k, seed, insts), cfg))
+            .collect();
+        for (s, c) in sums.iter_mut().zip(&cells) {
+            *s += c;
+        }
+        println!("{}", row(k.name(), &cells));
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / Kernel::ALL.len() as f64).collect();
+    println!("{}", row("average", &avg));
+    println!(
+        "\nquick-start improvement over multithreaded: {:.2} cycles/miss",
+        avg[1] - avg[2]
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 7: average TLB-miss penalties with three application threads
+//! plus one idle context, across the paper's eight benchmark mixes.
+
+use smtx_bench::{cycle_cap, header, parse_args, row};
+use smtx_core::{ExnMechanism, Machine, MachineConfig};
+use smtx_workloads::{kernel_reference, load_kernel, Kernel, MIXES};
+
+fn run_mix(mix: [Kernel; 3], mechanism: ExnMechanism, insts: u64, seed: u64) -> u64 {
+    let config = MachineConfig::paper_baseline(mechanism).with_threads(4);
+    let mut m = Machine::new(config);
+    for (tid, &k) in mix.iter().enumerate() {
+        load_kernel(&mut m, tid, k, seed + tid as u64);
+        m.set_budget(tid, insts);
+    }
+    m.run(cycle_cap(insts * 3));
+    for tid in 0..3 {
+        assert_eq!(m.stats().retired(tid), insts, "{:?} thread {tid} unfinished", mix);
+    }
+    m.stats().cycles
+}
+
+fn mix_arch_misses(mix: [Kernel; 3], insts: u64, seed: u64) -> u64 {
+    mix.iter()
+        .enumerate()
+        .map(|(tid, &k)| {
+            let mut w = kernel_reference(k, seed + tid as u64);
+            w.run(insts);
+            w.interp.dtlb_misses()
+        })
+        .sum()
+}
+
+fn main() {
+    let (insts, seed) = parse_args();
+    println!("Figure 7 — TLB miss penalties with 3 applications on the SMT (+1 idle)");
+    println!("paper: multithreaded reduces the average penalty ~25%, quick-start ~30%");
+    println!("per-thread instruction budget: {insts}\n");
+    let mechs = [
+        ("traditional", ExnMechanism::Traditional),
+        ("multi(1)", ExnMechanism::Multithreaded),
+        ("quick(1)", ExnMechanism::QuickStart),
+        ("hardware", ExnMechanism::Hardware),
+    ];
+    println!(
+        "{}",
+        header("mix", &mechs.iter().map(|(n, _)| *n).collect::<Vec<_>>())
+    );
+    let mut sums = vec![0.0; mechs.len()];
+    for mix in MIXES {
+        let label: String = mix.iter().map(|k| k.tag()).collect::<Vec<_>>().join("-");
+        let perfect = run_mix(mix, ExnMechanism::PerfectTlb, insts, seed);
+        let misses = mix_arch_misses(mix, insts, seed).max(1);
+        let cells: Vec<f64> = mechs
+            .iter()
+            .map(|&(_, mech)| {
+                let cycles = run_mix(mix, mech, insts, seed);
+                (cycles as f64 - perfect as f64) / misses as f64
+            })
+            .collect();
+        for (s, c) in sums.iter_mut().zip(&cells) {
+            *s += c;
+        }
+        println!("{}", row(&label, &cells));
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / MIXES.len() as f64).collect();
+    println!("{}", row("average", &avg));
+    println!(
+        "\nreduction vs traditional: multi {:.0}%, quick-start {:.0}%",
+        (1.0 - avg[1] / avg[0]) * 100.0,
+        (1.0 - avg[2] / avg[0]) * 100.0
+    );
+}

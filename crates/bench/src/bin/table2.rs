@@ -1,0 +1,26 @@
+//! Table 2: the benchmark inventory — our kernels' realized TLB-miss
+//! densities next to the paper's published counts.
+
+use smtx_bench::parse_args;
+use smtx_workloads::{kernel_miss_density, Kernel};
+
+fn main() {
+    let (insts, seed) = parse_args();
+    println!("Table 2 — benchmark suite: realized vs. paper TLB-miss density");
+    println!("(misses per 100M instructions; reference-interpreter DTLB, 64 entries)\n");
+    println!(
+        "{:<12} {:>16} {:>16} {:>8}",
+        "bench", "paper/100M", "ours/100M", "ratio"
+    );
+    for k in Kernel::ALL {
+        let ours = kernel_miss_density(k, seed, insts) * 100_000.0;
+        let paper = k.paper_misses_per_100m() as f64;
+        println!(
+            "{:<12} {:>16.0} {:>16.0} {:>8.2}",
+            k.name(),
+            paper,
+            ours,
+            ours / paper
+        );
+    }
+}

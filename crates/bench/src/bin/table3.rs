@@ -1,0 +1,45 @@
+//! Table 3: limit studies — average penalty cycles per miss with each
+//! overhead of the multithreaded mechanism removed in turn.
+
+use smtx_bench::{config_with_idle, limit_config, parse_args, penalty_per_miss};
+use smtx_core::{ExnMechanism, LimitKnobs};
+use smtx_workloads::Kernel;
+
+fn main() {
+    let (insts, seed) = parse_args();
+    println!("Table 3 — limit studies (average penalty cycles per miss)");
+    println!("paper: traditional 22.4, multi 11.0, -exec-bw 10.7, -window 10.5,");
+    println!("       -fetch/decode-bw 10.2, instant-fetch 8.5, hardware 7.1");
+    println!("per-thread instruction budget: {insts}\n");
+
+    let rows: Vec<(&str, smtx_core::MachineConfig)> = vec![
+        ("Traditional Software", config_with_idle(ExnMechanism::Traditional, 3)),
+        ("Multithreaded", config_with_idle(ExnMechanism::Multithreaded, 3)),
+        (
+            "Multi w/o execute bandwidth overhead",
+            limit_config(LimitKnobs { free_execute_bandwidth: true, ..Default::default() }),
+        ),
+        (
+            "Multi w/o window overhead",
+            limit_config(LimitKnobs { free_window: true, ..Default::default() }),
+        ),
+        (
+            "Multi w/o fetch/decode bandwidth overhead",
+            limit_config(LimitKnobs { free_fetch_bandwidth: true, ..Default::default() }),
+        ),
+        (
+            "Multi w/ instant handler fetch/decode",
+            limit_config(LimitKnobs { instant_handler_fetch: true, ..Default::default() }),
+        ),
+        ("Hardware TLB miss handler", config_with_idle(ExnMechanism::Hardware, 3)),
+    ];
+    println!("{:<44} {:>12}", "Configuration", "Penalty/Miss");
+    for (name, cfg) in rows {
+        let avg: f64 = Kernel::ALL
+            .iter()
+            .map(|&k| penalty_per_miss(k, seed, smtx_bench::insts_for(k, seed, insts), &cfg))
+            .sum::<f64>()
+            / Kernel::ALL.len() as f64;
+        println!("{name:<44} {avg:>12.2}");
+    }
+}

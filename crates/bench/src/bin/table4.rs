@@ -1,0 +1,51 @@
+//! Table 4: speedups over the traditional software handler for
+//! Perfect / Hardware / Multi(1) / Multi(3) / Quick(1) / Quick(3), plus
+//! each benchmark's TLB-miss density and base IPC.
+
+use smtx_bench::{config_with_idle, parse_args, run_kernel};
+use smtx_core::ExnMechanism;
+use smtx_workloads::Kernel;
+
+fn main() {
+    let (insts, seed) = parse_args();
+    println!("Table 4 — speedups over traditional software handling");
+    println!("per-thread instruction budget: {insts}\n");
+    println!(
+        "{:<10} {:>8} {:>12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "bench", "baseIPC", "misses/100M", "Perfect", "H/W", "Multi(1)", "Multi(3)", "Quick(1)", "Quick(3)"
+    );
+    let columns = [
+        ("Perfect", ExnMechanism::PerfectTlb, 1usize),
+        ("H/W", ExnMechanism::Hardware, 1),
+        ("Multi(1)", ExnMechanism::Multithreaded, 1),
+        ("Multi(3)", ExnMechanism::Multithreaded, 3),
+        ("Quick(1)", ExnMechanism::QuickStart, 1),
+        ("Quick(3)", ExnMechanism::QuickStart, 3),
+    ];
+    for k in Kernel::ALL {
+        let insts = smtx_bench::insts_for(k, seed, insts);
+        let base = run_kernel(k, seed, insts, config_with_idle(ExnMechanism::Traditional, 1));
+        let misses_per_100m = base.arch_misses as f64 * 100.0e6 / insts as f64;
+        let mut cells = Vec::new();
+        for (_, mech, idle) in columns {
+            let run = run_kernel(k, seed, insts, config_with_idle(mech, idle));
+            let speedup = (base.cycles as f64 / run.cycles as f64 - 1.0) * 100.0;
+            cells.push(speedup);
+        }
+        let perfect = run_kernel(k, seed, insts, config_with_idle(ExnMechanism::PerfectTlb, 1));
+        println!(
+            "{:<10} {:>8.1} {:>12.0} {:>8.1}% {:>7.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            k.name(),
+            perfect.ipc(),
+            misses_per_100m,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4],
+            cells[5],
+        );
+    }
+    println!("\npaper (for scale): compress 12.9/9.0/6.8/7.3/7.8/8.4%, vortex 9.6/7.1/4.8/5.3/5.7/6.3%");
+    println!("paper base IPC: adm 4.3, apl 2.6, cmp 2.6, dbl 2.2, gcc 2.8, h2d 1.3, mph 3.9, vor 4.9");
+}

@@ -1,0 +1,207 @@
+//! # smtx-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (see
+//! DESIGN.md §4 for the index). The heart of the crate is
+//! [`penalty_per_miss`]: run a workload under a mechanism and under a
+//! perfect TLB with the same instruction budget, divide the cycle
+//! difference by the workload's architectural miss count — exactly the
+//! paper's §3 metric ("penalty cycles per TLB miss").
+//!
+//! One binary per experiment:
+//!
+//! | binary   | regenerates |
+//! |----------|-------------|
+//! | `fig2`   | penalty vs. pipeline depth (3/7/11) |
+//! | `fig3`   | relative TLB time vs. width (2/32, 4/64, 8/128) |
+//! | `fig5`   | traditional / multithreaded(1) / multithreaded(3) / hardware |
+//! | `table3` | limit studies |
+//! | `fig6`   | quick-start |
+//! | `table4` | speedups, miss rates, base IPC |
+//! | `fig7`   | 3 application threads + 1 idle |
+//! | `table2` | kernel miss densities vs. the paper's |
+//!
+//! Every binary accepts `--insts N` (per-thread instruction budget, default
+//! 300k) and prints paper-style rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use smtx_core::{ExnMechanism, LimitKnobs, Machine, MachineConfig};
+use smtx_workloads::{kernel_reference, load_kernel, Kernel};
+
+/// Default per-thread instruction budget for experiment binaries.
+pub const DEFAULT_INSTS: u64 = 300_000;
+
+/// Safety cap on simulated cycles per run (generous — worst realistic IPC
+/// in the suite is ~0.05 under a deep traditional-trap configuration; a
+/// run that exceeds this is wedged, and the caller's assert reports it).
+pub const MAX_CYCLES: u64 = 1 << 31;
+
+/// A budget-proportional cycle cap: 500 cycles per instruction, at least
+/// 10M. Lets a wedged simulation fail fast instead of spinning to
+/// [`MAX_CYCLES`].
+#[must_use]
+pub fn cycle_cap(insts: u64) -> u64 {
+    insts.saturating_mul(500).max(10_000_000)
+}
+
+/// Result of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Cycles to retire the budget.
+    pub cycles: u64,
+    /// User instructions retired (sum over app threads).
+    pub retired: u64,
+    /// Workload-intrinsic (architectural) TLB misses over the same
+    /// instruction window.
+    pub arch_misses: u64,
+    /// Machine statistics snapshot.
+    pub stats: smtx_core::Stats,
+}
+
+impl RunResult {
+    /// User IPC of the run.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.retired as f64 / self.cycles as f64
+    }
+}
+
+/// Runs `kernel` for `insts` user instructions under `config`.
+///
+/// # Panics
+///
+/// Panics if the machine fails to retire the budget within [`MAX_CYCLES`].
+#[must_use]
+pub fn run_kernel(kernel: Kernel, seed: u64, insts: u64, config: MachineConfig) -> RunResult {
+    let mut m = Machine::new(config);
+    load_kernel(&mut m, 0, kernel, seed);
+    m.set_budget(0, insts);
+    m.run(cycle_cap(insts));
+    let stats = m.stats().clone();
+    assert_eq!(stats.retired(0), insts, "{} did not finish", kernel.name());
+    let arch_misses = arch_misses(kernel, seed, insts);
+    RunResult { cycles: stats.cycles, retired: insts, arch_misses, stats }
+}
+
+/// Architectural miss count for `kernel` over `insts` instructions
+/// (reference-interpreter DTLB, mechanism-independent denominator).
+#[must_use]
+pub fn arch_misses(kernel: Kernel, seed: u64, insts: u64) -> u64 {
+    let mut world = kernel_reference(kernel, seed);
+    world.run(insts);
+    world.interp.dtlb_misses()
+}
+
+/// Minimum misses a penalty-per-miss measurement should average over; with
+/// fewer, cold-start effects (first touches, cold caches, cold PTEs)
+/// dominate the per-miss numbers.
+pub const MIN_MISSES: u64 = 60;
+
+/// Scales the requested budget up for low-miss-density kernels so every
+/// measurement averages over at least [`MIN_MISSES`] misses (the paper's
+/// 100M-instruction runs did this implicitly).
+#[must_use]
+pub fn insts_for(kernel: Kernel, seed: u64, base_insts: u64) -> u64 {
+    let probe = 50_000.min(base_insts.max(1));
+    let misses = arch_misses(kernel, seed, probe).max(1);
+    let density = misses as f64 / probe as f64;
+    let needed = (MIN_MISSES as f64 / density).ceil() as u64;
+    base_insts.max(needed)
+}
+
+/// The paper's §3 metric: `(cycles(mechanism) − cycles(perfect)) / misses`.
+#[must_use]
+pub fn penalty_per_miss(
+    kernel: Kernel,
+    seed: u64,
+    insts: u64,
+    config: &MachineConfig,
+) -> f64 {
+    let run = run_kernel(kernel, seed, insts, config.clone());
+    let mut perfect_cfg = config.clone();
+    perfect_cfg.mechanism = ExnMechanism::PerfectTlb;
+    let perfect = run_kernel(kernel, seed, insts, perfect_cfg);
+    (run.cycles as f64 - perfect.cycles as f64) / run.arch_misses.max(1) as f64
+}
+
+/// Builds the paper-baseline config for a mechanism with `idle` spare
+/// contexts (the paper's multithreaded(1) = 2 contexts, multithreaded(3) =
+/// 4 contexts).
+#[must_use]
+pub fn config_with_idle(mechanism: ExnMechanism, idle: usize) -> MachineConfig {
+    MachineConfig::paper_baseline(mechanism).with_threads(1 + idle)
+}
+
+/// Applies one named limit-study knob set (paper Table 3 rows).
+#[must_use]
+pub fn limit_config(knobs: LimitKnobs) -> MachineConfig {
+    config_with_idle(ExnMechanism::Multithreaded, 3).with_limits(knobs)
+}
+
+/// Parses `--insts N` (and `--seed N`) from argv, returning
+/// `(insts, seed)`.
+#[must_use]
+pub fn parse_args() -> (u64, u64) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut insts = DEFAULT_INSTS;
+    let mut seed = 42;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--insts" if i + 1 < args.len() => {
+                insts = args[i + 1].parse().expect("--insts takes a number");
+                i += 2;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().expect("--seed takes a number");
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument `{other}`");
+                i += 1;
+            }
+        }
+    }
+    (insts, seed)
+}
+
+/// Formats a row of `f64` cells after a left-justified label.
+#[must_use]
+pub fn row(label: &str, cells: &[f64]) -> String {
+    let mut s = format!("{label:<12}");
+    for c in cells {
+        s.push_str(&format!(" {c:>10.2}"));
+    }
+    s
+}
+
+/// Formats the header matching [`row`].
+#[must_use]
+pub fn header(label: &str, cols: &[&str]) -> String {
+    let mut s = format!("{label:<12}");
+    for c in cols {
+        s.push_str(&format!(" {c:>10}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_metric_is_positive_for_traditional_compress() {
+        let cfg = config_with_idle(ExnMechanism::Traditional, 1);
+        let p = penalty_per_miss(Kernel::Compress, 42, 20_000, &cfg);
+        assert!(p > 0.0, "traditional handling must cost cycles (got {p})");
+    }
+
+    #[test]
+    fn arg_row_formatting() {
+        let h = header("bench", &["a", "b"]);
+        let r = row("cmp", &[1.5, 2.25]);
+        assert!(h.starts_with("bench"));
+        assert!(r.contains("1.50") && r.contains("2.25"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # smtx-branch — branch prediction for the smtx simulator
+//!
+//! The predictor complement of Table 1 of *"The Use of Multithreading for
+//! Exception Handling"* (MICRO-32, 1999):
+//!
+//! * [`Yags`] — the YAGS direction predictor (Eden & Mudge, MICRO-31 1998):
+//!   a choice PHT plus tagged taken/not-taken exception caches,
+//! * [`CascadedIndirect`] — the cascaded indirect-target predictor
+//!   (Driesen & Hölzle, MICRO-31 1998),
+//! * [`Ras`] — a checkpointing return-address stack (Jourdan et al.),
+//! * [`BranchUnit`] — the combination the pipeline front end talks to, with
+//!   speculative history that can be checkpointed before every prediction
+//!   and restored on a squash.
+//!
+//! Direct branch *targets* are perfect (paper Table 1), so no BTB is
+//! modelled; targets of direct branches come from the decoded instruction.
+//!
+//! # Example
+//!
+//! ```
+//! use smtx_branch::BranchUnit;
+//!
+//! let mut bu = BranchUnit::paper_baseline();
+//! let pc = 0x1000;
+//! for _ in 0..64 {
+//!     let (_pred, ghr) = bu.predict_cond(pc);
+//!     bu.update_cond(pc, ghr, true);
+//! }
+//! let (pred, _) = bu.predict_cond(pc);
+//! assert!(pred, "an always-taken branch must be predicted taken");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod indirect;
+mod ras;
+mod unit;
+mod yags;
+
+pub use indirect::CascadedIndirect;
+pub use ras::{Ras, RasCheckpoint};
+pub use unit::{BranchCheckpoint, BranchUnit};
+pub use yags::Yags;

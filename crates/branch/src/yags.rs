@@ -1,0 +1,208 @@
+//! The YAGS direction predictor (Eden & Mudge, MICRO-31 1998).
+
+/// A 2-bit saturating counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Counter2(u8);
+
+impl Counter2 {
+    const WEAK_TAKEN: Counter2 = Counter2(2);
+    const WEAK_NOT_TAKEN: Counter2 = Counter2(1);
+
+    fn taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ExceptionEntry {
+    tag: u16,
+    valid: bool,
+    counter: Counter2,
+}
+
+/// YAGS: a choice PHT records each branch's bias; two small *tagged*
+/// exception caches record only the instances that contradict the bias
+/// ("yet another global scheme"). Configured per paper Table 1 as a
+/// 2^14-entry choice table with 2^12-entry exception caches carrying 6-bit
+/// tags.
+///
+/// The global history register lives in [`crate::BranchUnit`]; YAGS methods
+/// take the history value used at prediction time so updates are exact even
+/// with deep speculation.
+///
+/// ```
+/// use smtx_branch::Yags;
+/// let mut y = Yags::paper_baseline();
+/// let h = 0b1010;
+/// for _ in 0..8 { y.update(0x400, h, false); }
+/// assert!(!y.predict(0x400, h));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Yags {
+    choice: Vec<Counter2>,
+    taken_cache: Vec<ExceptionEntry>,
+    not_taken_cache: Vec<ExceptionEntry>,
+    choice_mask: u64,
+    cache_mask: u64,
+    tag_mask: u64,
+}
+
+impl Yags {
+    /// Creates a YAGS predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is not a power of two or `tag_bits` exceeds 16.
+    #[must_use]
+    pub fn new(choice_entries: usize, cache_entries: usize, tag_bits: u32) -> Yags {
+        assert!(choice_entries.is_power_of_two(), "choice table must be power of two");
+        assert!(cache_entries.is_power_of_two(), "exception caches must be power of two");
+        assert!(tag_bits <= 16, "tags are stored in 16 bits");
+        let empty = ExceptionEntry { tag: 0, valid: false, counter: Counter2::WEAK_TAKEN };
+        Yags {
+            // Cold branches predict not-taken (fall through), the common
+            // PHT initialization; this also means a handler's rarely-taken
+            // page-fault check is predicted correctly from the first run.
+            choice: vec![Counter2::WEAK_NOT_TAKEN; choice_entries],
+            taken_cache: vec![empty; cache_entries],
+            not_taken_cache: vec![empty; cache_entries],
+            choice_mask: choice_entries as u64 - 1,
+            cache_mask: cache_entries as u64 - 1,
+            tag_mask: (1 << tag_bits) - 1,
+        }
+    }
+
+    /// The paper Table 1 configuration: 2^14 choice entries, 2^12 exception
+    /// entries, 6-bit tags.
+    #[must_use]
+    pub fn paper_baseline() -> Yags {
+        Yags::new(1 << 14, 1 << 12, 6)
+    }
+
+    fn choice_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.choice_mask) as usize
+    }
+
+    fn cache_index(&self, pc: u64, history: u64) -> usize {
+        (((pc >> 2) ^ history) & self.cache_mask) as usize
+    }
+
+    fn tag(&self, pc: u64) -> u16 {
+        ((pc >> 2) & self.tag_mask) as u16
+    }
+
+    /// Predicts the direction of the branch at `pc` under global history
+    /// `history`.
+    #[must_use]
+    pub fn predict(&self, pc: u64, history: u64) -> bool {
+        let bias = self.choice[self.choice_index(pc)].taken();
+        let cache = if bias { &self.not_taken_cache } else { &self.taken_cache };
+        let entry = &cache[self.cache_index(pc, history)];
+        if entry.valid && entry.tag == self.tag(pc) {
+            entry.counter.taken()
+        } else {
+            bias
+        }
+    }
+
+    /// Trains the predictor with the resolved outcome. `history` must be
+    /// the global-history value that was used for the prediction.
+    pub fn update(&mut self, pc: u64, history: u64, taken: bool) {
+        let choice_idx = self.choice_index(pc);
+        let bias = self.choice[choice_idx].taken();
+        let tag = self.tag(pc);
+        let cache_idx = self.cache_index(pc, history);
+        let cache = if bias { &mut self.not_taken_cache } else { &mut self.taken_cache };
+        let entry = &mut cache[cache_idx];
+        let cache_hit = entry.valid && entry.tag == tag;
+
+        if cache_hit {
+            let cache_correct = entry.counter.taken() == taken;
+            entry.counter.update(taken);
+            // The choice PHT is not reinforced when the exception cache both
+            // hit and was right while contradicting the bias — that entry is
+            // doing its job and the bias should stay (Eden & Mudge §3).
+            if !(cache_correct && taken != bias) {
+                self.choice[choice_idx].update(taken);
+            }
+        } else {
+            if taken != bias {
+                // Outcome contradicts the bias: allocate an exception entry.
+                *entry = ExceptionEntry {
+                    tag,
+                    valid: true,
+                    counter: if taken { Counter2::WEAK_TAKEN } else { Counter2::WEAK_NOT_TAKEN },
+                };
+            }
+            self.choice[choice_idx].update(taken);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_constant_direction() {
+        let mut y = Yags::paper_baseline();
+        for _ in 0..4 {
+            y.update(0x100, 0, true);
+        }
+        assert!(y.predict(0x100, 0));
+        for _ in 0..8 {
+            y.update(0x200, 0, false);
+        }
+        assert!(!y.predict(0x200, 0));
+    }
+
+    #[test]
+    fn learns_a_history_correlated_pattern() {
+        // Alternating branch: outcome equals the last outcome inverted, so
+        // it is perfectly predictable from 1 bit of history.
+        let mut y = Yags::paper_baseline();
+        let pc = 0x400;
+        let mut history: u64 = 0;
+        let mut correct = 0;
+        let total = 200;
+        for i in 0..total {
+            let outcome = i % 2 == 0;
+            if y.predict(pc, history) == outcome {
+                correct += 1;
+            }
+            y.update(pc, history, outcome);
+            history = (history << 1) | u64::from(outcome);
+        }
+        assert!(
+            correct > total * 8 / 10,
+            "alternating pattern should be learned (got {correct}/{total})"
+        );
+    }
+
+    #[test]
+    fn exception_cache_separates_aliasing_branches() {
+        // Two branches sharing history: one strongly taken (sets the bias),
+        // one strongly not-taken (must live in the exception cache).
+        let mut y = Yags::new(16, 16, 6); // tiny tables force interaction
+        for _ in 0..50 {
+            y.update(0x1000, 0b11, true);
+            y.update(0x1004, 0b11, false);
+        }
+        assert!(y.predict(0x1000, 0b11));
+        assert!(!y.predict(0x1004, 0b11));
+    }
+
+    #[test]
+    fn cold_predictor_is_weakly_not_taken() {
+        let y = Yags::paper_baseline();
+        assert!(!y.predict(0x8888, 0));
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests of the predictor state machines.
+
+use proptest::prelude::*;
+use smtx_branch::{BranchUnit, Ras, Yags};
+
+proptest! {
+    /// Checkpoint/restore is exact for a single level of speculation, for
+    /// any interleaving of speculative activity.
+    #[test]
+    fn checkpoint_restore_is_exact(
+        setup in prop::collection::vec((0u64..64, any::<bool>()), 0..50),
+        wrong_path in prop::collection::vec(0u8..4, 1..10),
+    ) {
+        let mut bu = BranchUnit::paper_baseline();
+        // Architectural warm-up.
+        for (pc, outcome) in setup {
+            let (_, h) = bu.predict_cond(pc * 4);
+            bu.update_cond(pc * 4, h, outcome);
+        }
+        bu.push_return(0x1234);
+        let cp = bu.checkpoint();
+        // Arbitrary wrong-path speculation (history-only operations).
+        for op in wrong_path {
+            match op {
+                0 => {
+                    let _ = bu.predict_cond(0x8000);
+                }
+                1 => {
+                    let _ = bu.predict_indirect(0x9000);
+                }
+                2 => bu.push_return(0xdead),
+                _ => {
+                    let _ = bu.predict_return();
+                }
+            }
+        }
+        bu.restore(cp);
+        prop_assert_eq!(bu.checkpoint(), cp);
+        prop_assert_eq!(bu.predict_return(), 0x1234);
+    }
+
+    /// YAGS converges on any strongly biased branch regardless of history
+    /// contents.
+    #[test]
+    fn yags_learns_biased_branches(pc in 0u64..10_000, bias in any::<bool>(), hist in any::<u64>()) {
+        let mut y = Yags::paper_baseline();
+        for _ in 0..8 {
+            y.update(pc * 4, hist & 0xffff, bias);
+        }
+        prop_assert_eq!(y.predict(pc * 4, hist & 0xffff), bias);
+    }
+
+    /// The RAS predicts perfectly for any properly nested call sequence
+    /// within its capacity.
+    #[test]
+    fn ras_nests(depth in 1usize..60) {
+        let mut ras = Ras::paper_baseline();
+        for i in 0..depth {
+            ras.push(0x1000 + i as u64 * 4);
+        }
+        for i in (0..depth).rev() {
+            prop_assert_eq!(ras.pop(), 0x1000 + i as u64 * 4);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Machine configuration (paper Table 1) and the exception-architecture
+//! selector.
+
+use smtx_mem::MemConfig;
+
+/// Which TLB-miss handling architecture the machine uses (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExnMechanism {
+    /// Translation never misses — the baseline the penalty metric is
+    /// measured against.
+    PerfectTlb,
+    /// The traditional software handler: squash from the excepting
+    /// instruction onward, fetch the handler into the same thread, `RFE`
+    /// back to the faulting PC.
+    Traditional,
+    /// The paper's contribution: run the handler in an idle SMT context and
+    /// splice it into the retirement stream. Falls back to `Traditional`
+    /// when no context is idle.
+    Multithreaded,
+    /// `Multithreaded` plus the quick-start optimization (§5.4): the
+    /// predicted handler is pre-staged in the idle thread's fetch buffer,
+    /// skipping fetch latency and bandwidth (decode is still paid).
+    QuickStart,
+    /// A hardware finite-state-machine page walker: no instructions
+    /// fetched; the PTE load competes for the load/store ports and the TLB
+    /// is filled speculatively.
+    Hardware,
+}
+
+impl ExnMechanism {
+    /// All mechanisms, in presentation order.
+    pub const ALL: [ExnMechanism; 5] = [
+        ExnMechanism::PerfectTlb,
+        ExnMechanism::Traditional,
+        ExnMechanism::Multithreaded,
+        ExnMechanism::QuickStart,
+        ExnMechanism::Hardware,
+    ];
+
+    /// Short label used in experiment output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ExnMechanism::PerfectTlb => "perfect",
+            ExnMechanism::Traditional => "traditional",
+            ExnMechanism::Multithreaded => "multithreaded",
+            ExnMechanism::QuickStart => "quickstart",
+            ExnMechanism::Hardware => "hardware",
+        }
+    }
+}
+
+/// The limit-study switches of paper Table 3. Each removes one overhead of
+/// the multithreaded mechanism; all default to `false` (realistic machine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LimitKnobs {
+    /// Handler instructions consume no issue bandwidth or functional units.
+    pub free_execute_bandwidth: bool,
+    /// Handler instructions consume no instruction-window slots.
+    pub free_window: bool,
+    /// Handler fetch/decode consumes no front-end bandwidth (the handler
+    /// thread fetches in addition to, not instead of, the chosen thread).
+    pub free_fetch_bandwidth: bool,
+    /// Handler instructions appear in the window the cycle the exception is
+    /// detected (no fetch or decode latency at all).
+    pub instant_handler_fetch: bool,
+}
+
+/// Per-cycle functional-unit pool sizes (paper Table 1, 8-wide machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Integer ALUs.
+    pub int_alu: usize,
+    /// Integer multiply/divide units.
+    pub int_mul: usize,
+    /// FP add/multiply units.
+    pub fp_add: usize,
+    /// FP divide/sqrt units.
+    pub fp_div: usize,
+    /// Load/store ports.
+    pub ldst_ports: usize,
+}
+
+impl FuConfig {
+    /// The 8-wide pool of paper Table 1.
+    #[must_use]
+    pub fn paper_8wide() -> FuConfig {
+        FuConfig { int_alu: 8, int_mul: 3, fp_add: 3, fp_div: 1, ldst_ports: 3 }
+    }
+
+    /// Scales the pool for a `width`-wide machine (used by the Fig. 3 width
+    /// sweep: pools shrink proportionally, minimum one unit each).
+    #[must_use]
+    pub fn scaled(width: usize) -> FuConfig {
+        let s = |n: usize| ((n * width).div_ceil(8)).max(1);
+        FuConfig {
+            int_alu: s(8),
+            int_mul: s(3),
+            fp_add: s(3),
+            fp_div: 1,
+            ldst_ports: s(3),
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Fetch = decode = issue width (nominally 8).
+    pub width: usize,
+    /// Centralized instruction-window capacity (nominally 128).
+    pub window: usize,
+    /// Number of hardware thread contexts (2 or 4 in the paper).
+    pub threads: usize,
+    /// Cycles an instruction spends in the fetch pipe.
+    pub fetch_latency: u64,
+    /// Cycles between window insertion and earliest issue (schedule +
+    /// register read; nominally 3).
+    pub issue_delay: u64,
+    /// Per-thread fetch-buffer capacity in instructions.
+    pub fetch_buffer: usize,
+    /// Functional-unit pools.
+    pub fu: FuConfig,
+    /// Cache hierarchy configuration.
+    pub mem: MemConfig,
+    /// Data-TLB entries (64 in the paper).
+    pub dtlb_entries: usize,
+    /// The exception architecture under test.
+    pub mechanism: ExnMechanism,
+    /// Limit-study switches (paper Table 3).
+    pub limits: LimitKnobs,
+    /// Paper §6 (generalized mechanism): integer divide is not implemented
+    /// in hardware; executing `DIVU` raises an emulated-instruction
+    /// exception serviced by a handler thread that reads the sources from
+    /// privileged registers and writes the result with `MTDST`. Requires
+    /// an installed emulation handler and at least one spare context.
+    pub emulate_divu: bool,
+}
+
+impl MachineConfig {
+    /// The paper's base machine (Table 1): 8-wide, 128-entry window, 7
+    /// stages between fetch and execute (3 fetch + 1 decode + 1 schedule +
+    /// 2 register read), 64-entry DTLB, with the given exception mechanism.
+    ///
+    /// Thread count defaults to 2 contexts (one application + one idle), the
+    /// "multithreaded(1)" configuration of Fig. 5.
+    #[must_use]
+    pub fn paper_baseline(mechanism: ExnMechanism) -> MachineConfig {
+        MachineConfig {
+            width: 8,
+            window: 128,
+            threads: 2,
+            fetch_latency: 3,
+            issue_delay: 3,
+            fetch_buffer: 32,
+            fu: FuConfig::paper_8wide(),
+            mem: MemConfig::paper_baseline(),
+            dtlb_entries: 64,
+            mechanism,
+            limits: LimitKnobs::default(),
+            emulate_divu: false,
+        }
+    }
+
+    /// Enables software emulation of `DIVU` (paper §6).
+    #[must_use]
+    pub fn with_emulated_divu(mut self) -> MachineConfig {
+        self.emulate_divu = true;
+        self
+    }
+
+    /// Sets the number of hardware contexts.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> MachineConfig {
+        assert!(threads >= 1, "at least one context required");
+        self.threads = threads;
+        self
+    }
+
+    /// Configures the number of stages between fetch and execute (the
+    /// Fig. 2 sweep: 3, 7 or 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a depth the paper does not use and that cannot be split
+    /// into `fetch + decode(1) + issue_delay` with positive parts.
+    #[must_use]
+    pub fn with_pipe_depth(mut self, depth: u64) -> MachineConfig {
+        let (fetch, issue) = match depth {
+            3 => (1, 1),
+            7 => (3, 3),
+            11 => (7, 3),
+            d if d >= 5 => (d - 4, 3),
+            _ => panic!("pipe depth must be 3, 7, 11, or >= 5"),
+        };
+        self.fetch_latency = fetch;
+        self.issue_delay = issue;
+        self
+    }
+
+    /// Configures superscalar width and window size together (the Fig. 3
+    /// sweep: 2/32, 4/64, 8/128), scaling the FU pools.
+    #[must_use]
+    pub fn with_width_window(mut self, width: usize, window: usize) -> MachineConfig {
+        assert!(width >= 1 && window >= width, "window must fit at least one fetch group");
+        self.width = width;
+        self.window = window;
+        self.fu = FuConfig::scaled(width);
+        self
+    }
+
+    /// Replaces the limit-study knobs.
+    #[must_use]
+    pub fn with_limits(mut self, limits: LimitKnobs) -> MachineConfig {
+        self.limits = limits;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_1() {
+        let c = MachineConfig::paper_baseline(ExnMechanism::Traditional);
+        assert_eq!(c.width, 8);
+        assert_eq!(c.window, 128);
+        assert_eq!(c.fetch_latency + 1 + c.issue_delay, 7, "7 stages fetch->execute");
+        assert_eq!(c.dtlb_entries, 64);
+        assert_eq!(c.fu.int_alu, 8);
+        assert_eq!(c.fu.ldst_ports, 3);
+    }
+
+    #[test]
+    fn pipe_depth_sweep_covers_fig2() {
+        for depth in [3u64, 7, 11] {
+            let c = MachineConfig::paper_baseline(ExnMechanism::Traditional)
+                .with_pipe_depth(depth);
+            assert_eq!(c.fetch_latency + 1 + c.issue_delay, depth);
+        }
+    }
+
+    #[test]
+    fn width_sweep_scales_fus() {
+        let c = MachineConfig::paper_baseline(ExnMechanism::Traditional)
+            .with_width_window(2, 32);
+        assert_eq!(c.width, 2);
+        assert_eq!(c.window, 32);
+        assert_eq!(c.fu.int_alu, 2);
+        assert!(c.fu.ldst_ports >= 1);
+    }
+
+    #[test]
+    fn mechanism_labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> =
+            ExnMechanism::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), ExnMechanism::ALL.len());
+    }
+}

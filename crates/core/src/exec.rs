@@ -1,0 +1,237 @@
+//! Pure functional semantics of every operation.
+//!
+//! Both the reference interpreter and the cycle-level pipeline call these
+//! helpers, so the two models cannot drift apart semantically — the
+//! differential tests then only check the *microarchitecture*, not two
+//! independent interpretations of the ISA.
+
+use smtx_isa::{Inst, Op};
+
+/// Computes an integer R-format result from operand values.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `op` is not an integer R-format ALU
+/// operation.
+#[must_use]
+pub fn int_rr(op: Op, a: u64, b: u64) -> u64 {
+    match op {
+        Op::Add => a.wrapping_add(b),
+        Op::Sub => a.wrapping_sub(b),
+        Op::Mul => a.wrapping_mul(b),
+        Op::Divu => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Sll => a << (b & 63),
+        Op::Srl => a >> (b & 63),
+        Op::Sra => ((a as i64) >> (b & 63)) as u64,
+        Op::Cmpeq => u64::from(a == b),
+        Op::Cmplt => u64::from((a as i64) < (b as i64)),
+        Op::Cmple => u64::from((a as i64) <= (b as i64)),
+        Op::Cmpult => u64::from(a < b),
+        _ => {
+            debug_assert!(false, "int_rr called with {op}");
+            0
+        }
+    }
+}
+
+/// Computes an integer I-format result from the operand value and the
+/// immediate.
+///
+/// Logical immediates (`ANDI`/`ORI`/`XORI`/`SHLORI`) use the *field bits*
+/// zero-extended (the low 14 bits of the encoded immediate); arithmetic and
+/// comparison immediates are sign-extended.
+#[must_use]
+pub fn int_ri(op: Op, a: u64, imm: i32) -> u64 {
+    let sext = imm as i64 as u64;
+    let zext = u64::from(imm as u32 & 0x3fff);
+    match op {
+        Op::Addi => a.wrapping_add(sext),
+        Op::Andi => a & zext,
+        Op::Ori => a | zext,
+        Op::Xori => a ^ zext,
+        Op::Slli => a << (imm & 63),
+        Op::Srli => a >> (imm & 63),
+        Op::Srai => ((a as i64) >> (imm & 63)) as u64,
+        Op::Cmpeqi => u64::from(a == sext),
+        Op::Cmplti => u64::from((a as i64) < (sext as i64)),
+        Op::Ldi => sext,
+        Op::Shlori => (a << 14) | zext,
+        _ => {
+            debug_assert!(false, "int_ri called with {op}");
+            0
+        }
+    }
+}
+
+/// Computes a floating-point result (bit pattern in, bit pattern out).
+/// Comparison and conversion results destined for integer registers are
+/// returned as plain integers.
+#[must_use]
+pub fn fp_rr(op: Op, a_bits: u64, b_bits: u64) -> u64 {
+    let a = f64::from_bits(a_bits);
+    let b = f64::from_bits(b_bits);
+    match op {
+        Op::Fadd => (a + b).to_bits(),
+        Op::Fsub => (a - b).to_bits(),
+        Op::Fmul => (a * b).to_bits(),
+        Op::Fdiv => (a / b).to_bits(),
+        Op::Fsqrt => a.sqrt().to_bits(),
+        Op::Fcmpeq => u64::from(a == b),
+        Op::Fcmplt => u64::from(a < b),
+        Op::Itof => (a_bits as i64 as f64).to_bits(),
+        Op::Ftoi => {
+            // Truncating, saturating conversion; NaN converts to 0 — a
+            // total function keeps wrong-path execution deterministic.
+            if a.is_nan() {
+                0
+            } else {
+                a.clamp(i64::MIN as f64, i64::MAX as f64) as i64 as u64
+            }
+        }
+        _ => {
+            debug_assert!(false, "fp_rr called with {op}");
+            0
+        }
+    }
+}
+
+/// Whether a conditional branch with test-operand value `a` is taken.
+#[must_use]
+pub fn branch_taken(op: Op, a: u64) -> bool {
+    let s = a as i64;
+    match op {
+        Op::Beq => a == 0,
+        Op::Bne => a != 0,
+        Op::Blt => s < 0,
+        Op::Bge => s >= 0,
+        Op::Bgt => s > 0,
+        Op::Ble => s <= 0,
+        _ => {
+            debug_assert!(false, "branch_taken called with {op}");
+            false
+        }
+    }
+}
+
+/// The target of a direct branch/call at `pc` with the given displacement
+/// (counted in instructions relative to the next PC).
+#[must_use]
+pub fn direct_target(pc: u64, disp: i32) -> u64 {
+    pc.wrapping_add(4).wrapping_add((disp as i64 as u64).wrapping_mul(4))
+}
+
+/// The effective address of a memory operation.
+#[must_use]
+pub fn effective_addr(base: u64, imm: i32) -> u64 {
+    base.wrapping_add(imm as i64 as u64)
+}
+
+/// Aligns an effective address down to 8 bytes.
+///
+/// All memory operations in this ISA are 8-byte accesses; rather than
+/// raising unaligned-access exceptions (a different exception class than
+/// the TLB misses under study), the machine architecturally ignores the low
+/// three address bits.
+#[must_use]
+pub fn align8(addr: u64) -> u64 {
+    addr & !7
+}
+
+/// How many integer/FP source operands an instruction reads, and from which
+/// fields: returns `(reads_ra, reads_rb)` in the sense of the instruction's
+/// register *fields* (see [`Inst`] field roles).
+#[must_use]
+pub fn reads(inst: &Inst) -> (bool, bool) {
+    use Op::*;
+    match inst.op {
+        // R-format two-source ALU/FP.
+        Add | Sub | Mul | Divu | And | Or | Xor | Sll | Srl | Sra | Cmpeq | Cmplt | Cmple
+        | Cmpult | Fadd | Fsub | Fmul | Fdiv | Fcmpeq | Fcmplt | Tlbwr => (true, true),
+        // One-source via ra.
+        Fsqrt | Itof | Ftoi | Ret => (true, false),
+        // I-format ALU reads ra.
+        Addi | Andi | Ori | Xori | Slli | Srli | Srai | Cmpeqi | Cmplti | Shlori => (true, false),
+        Ldi => (false, false),
+        // Memory: base in ra; stores also read data in rb.
+        Ldq | Fldq => (true, false),
+        Stq | Fstq => (true, true),
+        // Branches test ra.
+        Beq | Bne | Blt | Bge | Bgt | Ble => (true, false),
+        Br | Jal => (false, false),
+        // Indirect transfers read the target in rb.
+        Jr | Jalr => (false, true),
+        // Privileged: MTPR/MTDST read rb; MFPR reads nothing (priv regs
+        // are tracked separately).
+        Mtpr | Mtdst => (false, true),
+        Mfpr | Rfe | Hardexc | Nop | Halt => (false, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_semantics() {
+        assert_eq!(int_rr(Op::Add, u64::MAX, 1), 0, "wrapping add");
+        assert_eq!(int_rr(Op::Sub, 0, 1), u64::MAX);
+        assert_eq!(int_rr(Op::Divu, 7, 2), 3);
+        assert_eq!(int_rr(Op::Divu, 7, 0), 0, "div by zero defined as 0");
+        assert_eq!(int_rr(Op::Sra, (-8i64) as u64, 1), (-4i64) as u64);
+        assert_eq!(int_rr(Op::Srl, (-8i64) as u64, 1), (u64::MAX - 7) >> 1);
+        assert_eq!(int_rr(Op::Cmplt, (-1i64) as u64, 0), 1, "signed compare");
+        assert_eq!(int_rr(Op::Cmpult, (-1i64) as u64, 0), 0, "unsigned compare");
+    }
+
+    #[test]
+    fn immediate_semantics() {
+        assert_eq!(int_ri(Op::Addi, 10, -3), 7);
+        assert_eq!(int_ri(Op::Ldi, 0, -1), u64::MAX);
+        // Logical immediates use the 14 field bits zero-extended: -1
+        // encodes field 0x3fff.
+        assert_eq!(int_ri(Op::Ori, 0, -1), 0x3fff);
+        assert_eq!(int_ri(Op::Shlori, 1, -1), (1 << 14) | 0x3fff);
+        assert_eq!(int_ri(Op::Slli, 1, 4), 16);
+    }
+
+    #[test]
+    fn fp_semantics() {
+        let two = 2.0f64.to_bits();
+        let three = 3.0f64.to_bits();
+        assert_eq!(f64::from_bits(fp_rr(Op::Fadd, two, three)), 5.0);
+        assert_eq!(f64::from_bits(fp_rr(Op::Fmul, two, three)), 6.0);
+        assert_eq!(f64::from_bits(fp_rr(Op::Fsqrt, 9.0f64.to_bits(), 0)), 3.0);
+        assert_eq!(fp_rr(Op::Fcmplt, two, three), 1);
+        assert_eq!(fp_rr(Op::Itof, (-2i64) as u64, 0), (-2.0f64).to_bits());
+        assert_eq!(fp_rr(Op::Ftoi, (-2.9f64).to_bits(), 0), (-2i64) as u64);
+        assert_eq!(fp_rr(Op::Ftoi, f64::NAN.to_bits(), 0), 0, "NaN -> 0");
+    }
+
+    #[test]
+    fn branch_semantics() {
+        assert!(branch_taken(Op::Beq, 0));
+        assert!(!branch_taken(Op::Beq, 1));
+        assert!(branch_taken(Op::Blt, (-5i64) as u64));
+        assert!(branch_taken(Op::Bge, 0));
+        assert!(branch_taken(Op::Bgt, 3));
+        assert!(!branch_taken(Op::Bgt, 0));
+        assert!(branch_taken(Op::Ble, 0));
+    }
+
+    #[test]
+    fn address_helpers() {
+        assert_eq!(direct_target(0x100, 0), 0x104);
+        assert_eq!(direct_target(0x100, -2), 0xfc);
+        assert_eq!(effective_addr(0x1000, -8), 0xff8);
+        assert_eq!(align8(0x1007), 0x1000);
+    }
+}

@@ -1,0 +1,58 @@
+//! # smtx-core — the cycle-level SMT pipeline and exception architectures
+//!
+//! The primary contribution of *"The Use of Multithreading for Exception
+//! Handling"* (Zilles, Emer, Sohi — MICRO-32, 1999), rebuilt from scratch:
+//! a dynamically-scheduled, simultaneous-multithreading superscalar whose
+//! software TLB-miss handler can execute in a spare hardware context and be
+//! *spliced into the retirement stream* instead of trapping the pipeline.
+//!
+//! The crate contains:
+//!
+//! * [`Machine`] — the cycle-level model: ICOUNT fetch chooser, per-thread
+//!   front ends, rename with last-writer maps and squash recovery, a
+//!   centralized 128-entry window scheduled oldest-fetched-first,
+//!   functional-unit pools, conservative memory disambiguation with
+//!   store-to-load forwarding, wrong-path execution with cache and TLB
+//!   pollution, and per-thread in-order retirement with cross-thread
+//!   splicing;
+//! * [`ExnMechanism`] — the four TLB-miss architectures under study
+//!   (perfect, traditional trap, multithreaded, hardware walker) plus the
+//!   quick-start variant, and [`LimitKnobs`] for the Table 3 limit studies;
+//! * [`Interpreter`] — the architectural reference model used as the
+//!   correctness oracle and to count workload-intrinsic TLB misses.
+//!
+//! # Example
+//!
+//! ```
+//! use smtx_core::{ExnMechanism, Machine, MachineConfig};
+//! use smtx_isa::{ProgramBuilder, Reg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.li(Reg(1), 21);
+//! b.add(Reg(2), Reg(1), Reg(1));
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let mut m = Machine::new(MachineConfig::paper_baseline(ExnMechanism::PerfectTlb));
+//! m.attach_program(0, &program);
+//! m.run(10_000);
+//! assert_eq!(m.int_regs(0)[2], 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod dyninst;
+pub mod exec;
+mod machine;
+mod refmodel;
+mod stats;
+mod thread;
+
+pub use config::{ExnMechanism, FuConfig, LimitKnobs, MachineConfig};
+pub use machine::{ActiveHandler, HandlerKind, Machine, RetireEvent};
+pub use refmodel::{Interpreter, RefError, RunSummary};
+pub use stats::{Stats, ThreadStats};
+pub use thread::{ThreadContext, ThreadState};

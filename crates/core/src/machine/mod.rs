@@ -1,0 +1,637 @@
+//! The cycle-level SMT machine.
+//!
+//! One [`Machine`] owns every shared structure of paper Table 1: the fetch
+//! unit and chooser, the centralized instruction window, the scheduler and
+//! functional-unit pools, the memory system, the DTLB, and all hardware
+//! thread contexts. `step_cycle` advances the machine one cycle through the
+//! phases *complete → walk → retire → issue → decode → fetch*.
+
+mod backend;
+mod exn;
+mod frontend;
+
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::cmp::Reverse;
+
+use smtx_isa::Program;
+use smtx_mem::{AddressSpace, Asid, MemorySystem, PhysAlloc, PhysMem, Tlb, PAGE_SIZE};
+
+use crate::config::MachineConfig;
+use crate::dyninst::{DynInst, PredInfo};
+use crate::stats::Stats;
+use crate::thread::{ThreadContext, ThreadState};
+
+/// What an active handler is servicing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerKind {
+    /// A software TLB fill (the paper's main study).
+    TlbFill,
+    /// An emulated instruction (paper §6 generalized mechanism): the
+    /// handler writes the excepting instruction's destination via `MTDST`.
+    Emulate,
+}
+
+/// Bookkeeping for one active exception-handler thread — exactly the
+/// per-thread control state of paper Fig. 4 (master thread id + sequence
+/// number of the excepting instruction) plus the window reservation of
+/// §4.4.
+#[derive(Debug, Clone)]
+pub struct ActiveHandler {
+    /// The context running the handler.
+    pub handler_tid: usize,
+    /// The application context it serves.
+    pub master: usize,
+    /// Sequence number of the excepting instruction (updated by re-linking,
+    /// paper §4.5).
+    pub exc_seq: u64,
+    /// `(asid, vpn)` being filled.
+    pub key: (Asid, u64),
+    /// Tag marking this handler's speculative TLB fills.
+    pub tag: u64,
+    /// Predicted handler length in instructions (perfect per Table 1).
+    pub predicted_len: usize,
+    /// Handler instructions inserted into the window so far.
+    pub inserted: usize,
+    /// What this handler services.
+    pub kind: HandlerKind,
+}
+
+/// An in-flight hardware page walk.
+#[derive(Debug, Clone)]
+pub(crate) struct Walk {
+    pub key: (Asid, u64),
+    pub fault_tid: usize,
+    pub fault_seq: u64,
+    pub pte_paddr: u64,
+    /// `None` while waiting for a cache port; `Some(cycle)` once issued.
+    pub done_at: Option<u64>,
+}
+
+/// The simulated machine.
+///
+/// ```
+/// use smtx_core::{ExnMechanism, Machine, MachineConfig};
+///
+/// let machine = Machine::new(MachineConfig::paper_baseline(ExnMechanism::PerfectTlb));
+/// assert_eq!(machine.cycle(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    pub(crate) config: MachineConfig,
+    pub(crate) cycle: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) pm: PhysMem,
+    pub(crate) alloc: PhysAlloc,
+    pub(crate) memsys: MemorySystem,
+    pub(crate) dtlb: Tlb,
+    pub(crate) threads: Vec<ThreadContext>,
+    pub(crate) spaces: Vec<AddressSpace>,
+    pub(crate) window: BTreeMap<u64, DynInst>,
+    /// Handler-thread instructions currently in the window (for the
+    /// free-window limit knob).
+    pub(crate) handler_insts_in_window: usize,
+    /// producer seq → (consumer seq, operand slot).
+    pub(crate) consumers: HashMap<u64, Vec<(u64, usize)>>,
+    /// Completion events: (cycle, seq).
+    pub(crate) events: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Loads/stores waiting on a TLB fill, by (asid, vpn).
+    pub(crate) waiters: HashMap<(Asid, u64), Vec<u64>>,
+    pub(crate) handlers: Vec<ActiveHandler>,
+    pub(crate) walks: Vec<Walk>,
+    pub(crate) pal_base: u64,
+    pub(crate) pal_len: usize,
+    pub(crate) emul_base: u64,
+    pub(crate) emul_len: usize,
+    pub(crate) stats: Stats,
+    pub(crate) retire_log: Option<Vec<RetireEvent>>,
+}
+
+/// One entry of the optional retirement trace (see
+/// [`Machine::enable_retire_log`]): the global retirement order, which for
+/// the multithreaded mechanism differs from fetch order exactly as paper
+/// Fig. 1c describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetireEvent {
+    /// Context that retired the instruction.
+    pub tid: usize,
+    /// Fetch-order sequence number.
+    pub seq: u64,
+    /// PC of the instruction.
+    pub pc: u64,
+    /// Whether it was a PAL (handler) instruction.
+    pub pal: bool,
+}
+
+impl Machine {
+    /// Creates a machine with idle contexts. Install a PAL handler with
+    /// [`Machine::install_pal_handler`] and attach programs with
+    /// [`Machine::attach_program`] before running.
+    #[must_use]
+    pub fn new(config: MachineConfig) -> Machine {
+        let threads = (0..config.threads).map(|_| ThreadContext::new()).collect();
+        let stats = Stats::new(config.threads);
+        Machine {
+            memsys: MemorySystem::new(config.mem),
+            dtlb: Tlb::new(config.dtlb_entries),
+            threads,
+            stats,
+            config,
+            cycle: 0,
+            next_seq: 0,
+            pm: PhysMem::new(),
+            alloc: PhysAlloc::new(),
+            spaces: Vec::new(),
+            window: BTreeMap::new(),
+            handler_insts_in_window: 0,
+            consumers: HashMap::new(),
+            events: BinaryHeap::new(),
+            waiters: HashMap::new(),
+            handlers: Vec::new(),
+            walks: Vec::new(),
+            pal_base: 0,
+            pal_len: 0,
+            emul_base: 0,
+            emul_len: 0,
+            retire_log: None,
+        }
+    }
+
+    /// Starts recording the global retirement order (cleared on each call).
+    /// Intended for tests and debugging; costs one `Vec` push per retired
+    /// instruction.
+    pub fn enable_retire_log(&mut self) {
+        self.retire_log = Some(Vec::new());
+    }
+
+    /// The recorded retirement trace, if enabled.
+    #[must_use]
+    pub fn retire_log(&self) -> Option<&[RetireEvent]> {
+        self.retire_log.as_deref()
+    }
+
+    /// The current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Simulated physical memory (read-only view).
+    #[must_use]
+    pub fn phys(&self) -> &PhysMem {
+        &self.pm
+    }
+
+    /// Simulated physical memory, mutable (for workload setup).
+    pub fn phys_mut(&mut self) -> &mut PhysMem {
+        &mut self.pm
+    }
+
+    /// The frame allocator (for workload setup).
+    pub fn alloc_mut(&mut self) -> &mut PhysAlloc {
+        &mut self.alloc
+    }
+
+    /// The address space with index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn space(&self, idx: usize) -> &AddressSpace {
+        &self.spaces[idx]
+    }
+
+    /// Splits out mutable access to one address space together with
+    /// physical memory and the allocator (the borrow shape every workload
+    /// setup needs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn vm_parts(
+        &mut self,
+        idx: usize,
+    ) -> (&mut AddressSpace, &mut PhysMem, &mut PhysAlloc) {
+        (&mut self.spaces[idx], &mut self.pm, &mut self.alloc)
+    }
+
+    /// Creates a new address space and returns its index.
+    pub fn new_address_space(&mut self) -> usize {
+        let asid = (self.spaces.len() + 1) as Asid;
+        let space = AddressSpace::new(asid, &mut self.pm, &mut self.alloc);
+        self.spaces.push(space);
+        self.spaces.len() - 1
+    }
+
+    /// Installs the PAL TLB-miss handler: the code is placed in physical
+    /// memory (PAL code is physically addressed) and its length becomes the
+    /// perfect handler-length prediction of Table 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handler does not fit in one page.
+    pub fn install_pal_handler(&mut self, handler: &Program) {
+        let bytes = handler.len() as u64 * 4;
+        assert!(bytes <= PAGE_SIZE, "PAL handler must fit one page");
+        let base = self.alloc.alloc_page();
+        for (i, &word) in handler.words().iter().enumerate() {
+            self.pm.write_u32(base + i as u64 * 4, word);
+        }
+        self.pal_base = base;
+        self.pal_len = handler.len();
+    }
+
+    /// Length (in instructions) of the installed PAL handler, or 0 if none
+    /// has been installed yet.
+    #[must_use]
+    pub fn pal_handler_len(&self) -> usize {
+        self.pal_len
+    }
+
+    /// Installs the emulated-instruction handler (paper §6), placed in its
+    /// own physically-addressed PAL page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handler does not fit in one page.
+    pub fn install_emul_handler(&mut self, handler: &Program) {
+        let bytes = handler.len() as u64 * 4;
+        assert!(bytes <= PAGE_SIZE, "emulation handler must fit one page");
+        let base = self.alloc.alloc_page();
+        for (i, &word) in handler.words().iter().enumerate() {
+            self.pm.write_u32(base + i as u64 * 4, word);
+        }
+        self.emul_base = base;
+        self.emul_len = handler.len();
+    }
+
+    /// Whether `pc` lies inside an installed PAL code region.
+    pub(crate) fn in_pal_region(&self, pc: u64) -> bool {
+        (pc >= self.pal_base && pc < self.pal_base + self.pal_len as u64 * 4)
+            || (self.emul_len > 0
+                && pc >= self.emul_base
+                && pc < self.emul_base + self.emul_len as u64 * 4)
+    }
+
+    /// Loads `program` into address space `space_idx` (maps code pages and
+    /// writes the words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space_idx` is out of range.
+    pub fn load_program(&mut self, space_idx: usize, program: &Program) {
+        let pages = ((program.len() as u64 * 4).div_ceil(PAGE_SIZE)).max(1);
+        let (space, pm, alloc) = self.vm_parts(space_idx);
+        space.map_region(pm, alloc, program.base() & !(PAGE_SIZE - 1), pages + 1);
+        for (i, &word) in program.words().iter().enumerate() {
+            space
+                .write_u32(pm, program.base() + i as u64 * 4, word)
+                .expect("code pages just mapped");
+        }
+    }
+
+    /// Binds context `tid` to address space `space_idx` and starts it at
+    /// `entry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is not idle or indices are out of range.
+    pub fn start_thread(&mut self, tid: usize, space_idx: usize, entry: u64) {
+        assert_eq!(self.threads[tid].state, ThreadState::Idle, "context busy");
+        let asid = self.spaces[space_idx].asid();
+        let t = &mut self.threads[tid];
+        t.state = ThreadState::Run;
+        t.space = Some(space_idx);
+        t.asid = asid;
+        t.fetch_pc = entry;
+        t.fetch_pal = false;
+        t.fetch_stopped = false;
+        t.fetch_stalled_until = 0;
+    }
+
+    /// Convenience: create a space, load `program`, and start context `tid`
+    /// at its entry. Returns the space index.
+    pub fn attach_program(&mut self, tid: usize, program: &Program) -> usize {
+        let space = self.new_address_space();
+        self.load_program(space, program);
+        self.start_thread(tid, space, program.base());
+        space
+    }
+
+    /// Committed user integer registers of context `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    #[must_use]
+    pub fn int_regs(&self, tid: usize) -> &[u64; 32] {
+        &self.threads[tid].int_regs
+    }
+
+    /// Committed floating-point registers of context `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    #[must_use]
+    pub fn fp_regs(&self, tid: usize) -> &[u64; 32] {
+        &self.threads[tid].fp_regs
+    }
+
+    /// State of context `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    #[must_use]
+    pub fn thread_state(&self, tid: usize) -> ThreadState {
+        self.threads[tid].state
+    }
+
+    /// Sets the user-instruction retirement budget of context `tid`; the
+    /// thread freezes once it has retired that many user instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn set_budget(&mut self, tid: usize, budget: u64) {
+        self.threads[tid].budget = Some(budget);
+    }
+
+    /// Runs until every application thread has halted (HALT retired or
+    /// budget reached) or `max_cycles` elapse. Returns the statistics.
+    pub fn run(&mut self, max_cycles: u64) -> &Stats {
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline
+            && self
+                .threads
+                .iter()
+                .any(|t| matches!(t.state, ThreadState::Run))
+        {
+            self.step_cycle();
+        }
+        self.stats.cycles = self.cycle;
+        &self.stats
+    }
+
+    /// Advances the machine one cycle.
+    pub fn step_cycle(&mut self) {
+        let now = self.cycle;
+        self.process_completions(now);
+        self.process_walks(now);
+        self.retire_phase(now);
+        self.issue_phase(now);
+        self.decode_phase(now);
+        self.fetch_phase(now);
+        if !self.handlers.is_empty() {
+            self.stats.handler_active_cycles += 1;
+        }
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        self.debug_check_invariants();
+    }
+
+    // ---- shared internal helpers ----
+
+    /// Window occupancy as seen by insertion control (the free-window limit
+    /// knob makes handler instructions invisible).
+    pub(crate) fn occupancy(&self) -> usize {
+        if self.config.limits.free_window {
+            self.window.len() - self.handler_insts_in_window
+        } else {
+            self.window.len()
+        }
+    }
+
+    /// Total outstanding window reservations for handlers whose master is
+    /// `tid` (paper §4.4).
+    pub(crate) fn reserved_for_master(&self, tid: usize) -> usize {
+        if self.config.limits.free_window {
+            return 0;
+        }
+        self.handlers
+            .iter()
+            .filter(|h| h.master == tid)
+            .map(|h| h.predicted_len.saturating_sub(h.inserted))
+            .sum()
+    }
+
+    pub(crate) fn handler_record(&self, handler_tid: usize) -> Option<&ActiveHandler> {
+        self.handlers.iter().find(|h| h.handler_tid == handler_tid)
+    }
+
+    /// Squashes every in-flight instruction of `tid` with `seq >= from_seq`
+    /// (front end included), restoring rename maps. Returns the predictor
+    /// checkpoint of the *oldest* squashed branch, which the caller restores
+    /// for trap-style squashes (mispredict recovery restores the branch's
+    /// own checkpoint instead).
+    pub(crate) fn squash_thread_from(
+        &mut self,
+        tid: usize,
+        from_seq: u64,
+    ) -> Option<PredInfo> {
+        let note_pred = |p: &Option<PredInfo>, seq: u64, oldest: &mut Option<(u64, PredInfo)>| {
+            if let Some(pi) = p {
+                match oldest {
+                    Some((s, _)) if *s <= seq => {}
+                    _ => *oldest = Some((seq, *pi)),
+                }
+            }
+        };
+        let mut oldest: Option<(u64, PredInfo)> = None;
+
+        // Front end first (all entries are the thread's youngest).
+        let mut squashed_frontend = 0u64;
+        {
+            let t = &mut self.threads[tid];
+            for q in [&mut t.fetch_pipe, &mut t.fetch_buffer] {
+                while let Some(back) = q.back() {
+                    if back.seq < from_seq {
+                        break;
+                    }
+                    note_pred(&back.pred, back.seq, &mut oldest);
+                    q.pop_back();
+                    squashed_frontend += 1;
+                }
+            }
+        }
+        self.stats.squashed_insts += squashed_frontend;
+
+        // Window entries, youngest first, restoring rename state.
+        let mut released_handlers: Vec<usize> = Vec::new();
+        loop {
+            let Some(&back) = self.threads[tid].rob.back() else { break };
+            if back < from_seq {
+                break;
+            }
+            self.threads[tid].rob.pop_back();
+            let inst = self.window.remove(&back).expect("rob entry in window");
+            if self.threads[tid].is_handler() {
+                self.handler_insts_in_window -= 1;
+            }
+            note_pred(&inst.pred, inst.seq, &mut oldest);
+            if let Some((class, idx)) = inst.dest {
+                if self.threads[tid].rmap(class, idx) == Some(back) {
+                    let prev = inst.prev_writer.filter(|p| self.window.contains_key(p));
+                    self.threads[tid].set_rmap(class, idx, prev);
+                }
+            }
+            self.consumers.remove(&back);
+            if inst.inst.op.is_store() {
+                self.threads[tid].store_queue.retain(|&s| s != back);
+            }
+            if let Some(h) = inst.handler_tid {
+                released_handlers.push(h);
+            }
+            self.stats.squashed_insts += 1;
+        }
+        for h in released_handlers {
+            self.release_handler(h, false);
+        }
+        oldest.map(|(_, p)| p)
+    }
+
+    /// Frees a handler context. `commit = true` when the handler retired
+    /// normally (RFE reached retirement); `false` reclaims a handler whose
+    /// excepting instruction died or that escalated via `HARDEXC`.
+    pub(crate) fn release_handler(&mut self, handler_tid: usize, commit: bool) {
+        let Some(pos) = self.handlers.iter().position(|h| h.handler_tid == handler_tid) else {
+            return;
+        };
+        let rec = self.handlers.remove(pos);
+        if commit {
+            if rec.kind == HandlerKind::TlbFill {
+                self.dtlb.commit(rec.tag);
+                self.stats.fills_committed += 1;
+            } else {
+                self.stats.emulations_committed += 1;
+            }
+        } else {
+            // Withdraw speculative fills and squash the handler's in-flight
+            // instructions.
+            self.squash_thread_from(handler_tid, 0);
+            self.dtlb.squash(rec.tag);
+            self.stats.handlers_squashed += 1;
+        }
+        // Drain any waiter still parked on this fill so it re-issues. This
+        // matters even on the commit path: an instruction that missed
+        // *after* the handler's TLBWR woke the original waiters (possible
+        // when the freshly filled entry is evicted again before the
+        // instruction re-executes) would otherwise sleep forever.
+        if let Some(ws) = self.waiters.remove(&rec.key) {
+            for w in ws {
+                if let Some(i) = self.window.get_mut(&w) {
+                    i.waiting_tlb = None;
+                }
+            }
+        }
+        // Unlink from the excepting instruction (if still alive).
+        if let Some(inst) = self.window.get_mut(&rec.exc_seq) {
+            if inst.handler_tid == Some(handler_tid) {
+                inst.handler_tid = None;
+            }
+        }
+        let t = &mut self.threads[handler_tid];
+        t.state = ThreadState::Idle;
+        t.clear_inflight();
+        t.fetch_stopped = true;
+        t.fetch_pal = false;
+    }
+
+    /// Freezes thread `tid`: squashes its in-flight work and marks it
+    /// halted.
+    pub(crate) fn freeze_thread(&mut self, tid: usize, now: u64) {
+        self.squash_thread_from(tid, 0);
+        let t = &mut self.threads[tid];
+        t.state = ThreadState::Halted;
+        t.fetch_stopped = true;
+        self.stats.threads[tid].finished_at = Some(now);
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_check_invariants(&self) {
+        assert!(
+            self.window.len() <= self.config.window + self.handler_insts_in_window,
+            "window overflow: {} > {} (+{} handler)",
+            self.window.len(),
+            self.config.window,
+            self.handler_insts_in_window
+        );
+        let rob_total: usize = self.threads.iter().map(|t| t.rob.len()).sum();
+        assert_eq!(rob_total, self.window.len(), "rob/window desync");
+        for (tid, t) in self.threads.iter().enumerate() {
+            let mut prev = None;
+            for &s in &t.rob {
+                assert!(Some(s) > prev, "rob out of order for thread {tid}");
+                assert_eq!(self.window[&s].tid, tid, "window entry wrong thread");
+                prev = Some(s);
+            }
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check_invariants(&self) {}
+
+    /// Renders the machine's in-flight state for debugging wedges: thread
+    /// states, fetch control, window heads, handler records and walks.
+    #[must_use]
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "cycle {} window {} events {}", self.cycle, self.window.len(), self.events.len());
+        for (tid, t) in self.threads.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "t{tid} {:?} pc={:#x} pal={} stopped={} stall_until={} redirect={:?} pipe={} buf={} rob={}",
+                t.state,
+                t.fetch_pc,
+                t.fetch_pal,
+                t.fetch_stopped,
+                t.fetch_stalled_until,
+                t.redirect_wait,
+                t.fetch_pipe.len(),
+                t.fetch_buffer.len(),
+                t.rob.len()
+            );
+            for &seq in t.rob.iter().take(6) {
+                let i = &self.window[&seq];
+                let _ = writeln!(
+                    s,
+                    "  seq {seq} {} pc={:#x} issued={} done={} wait_tlb={:?} handler={:?} srcs_ready={} earliest={}",
+                    i.inst,
+                    i.pc,
+                    i.issued,
+                    i.done,
+                    i.waiting_tlb,
+                    i.handler_tid,
+                    i.srcs_ready(),
+                    i.earliest_issue
+                );
+            }
+        }
+        for h in &self.handlers {
+            let _ = writeln!(
+                s,
+                "handler tid={} master={} exc_seq={} key={:?} inserted={}",
+                h.handler_tid, h.master, h.exc_seq, h.key, h.inserted
+            );
+        }
+        for w in &self.walks {
+            let _ = writeln!(s, "walk key={:?} fault={} done={:?}", w.key, w.fault_seq, w.done_at);
+        }
+        let _ = writeln!(s, "waiters: {:?}", self.waiters.keys().collect::<Vec<_>>());
+        s
+    }
+}

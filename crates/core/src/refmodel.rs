@@ -1,0 +1,488 @@
+//! The functional reference interpreter.
+//!
+//! Executes user-mode programs in architectural order with no timing. It is
+//! the correctness oracle for the pipeline: a TLB-miss handler only reads
+//! the page table and writes the (architecturally invisible) TLB, so the
+//! committed state of any pipeline run — under *any* exception mechanism —
+//! must equal the interpreter's final state.
+//!
+//! The interpreter still models a 64-entry architectural DTLB purely to
+//! *count* misses: that count is the workload-intrinsic "TLB misses" column
+//! of paper Table 2 and the denominator of every penalty-per-miss metric.
+
+use std::fmt;
+
+use smtx_isa::{Inst, Op};
+use smtx_mem::{AddressSpace, PhysMem, Tlb, VmError, PAGE_SHIFT};
+
+use crate::exec;
+
+/// Why the interpreter stopped or failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefError {
+    /// An instruction fetch or data access touched an unmapped address.
+    Vm {
+        /// Program counter of the faulting instruction.
+        pc: u64,
+        /// The underlying translation failure.
+        source: VmError,
+    },
+    /// The PC pointed at a word that does not decode.
+    BadInstruction {
+        /// Program counter of the malformed word.
+        pc: u64,
+    },
+    /// A user-mode program used a privileged operation.
+    PrivilegeViolation {
+        /// Program counter of the privileged instruction.
+        pc: u64,
+        /// The offending operation.
+        op: Op,
+    },
+}
+
+impl fmt::Display for RefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefError::Vm { pc, source } => write!(f, "memory fault at pc {pc:#x}: {source}"),
+            RefError::BadInstruction { pc } => write!(f, "undecodable instruction at pc {pc:#x}"),
+            RefError::PrivilegeViolation { pc, op } => {
+                write!(f, "privileged op `{op}` in user mode at pc {pc:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefError {}
+
+/// Result of a [`Interpreter::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Instructions retired during this call.
+    pub retired: u64,
+    /// Whether the program executed `HALT`.
+    pub halted: bool,
+}
+
+/// The architectural interpreter for one thread.
+///
+/// ```
+/// use smtx_core::Interpreter;
+/// use smtx_isa::{ProgramBuilder, Reg};
+/// use smtx_mem::{AddressSpace, PhysAlloc, PhysMem, PAGE_SIZE};
+///
+/// let mut pm = PhysMem::new();
+/// let mut alloc = PhysAlloc::new();
+/// let mut space = AddressSpace::new(1, &mut pm, &mut alloc);
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg(1), 6);
+/// b.li(Reg(2), 7);
+/// b.mul(Reg(3), Reg(1), Reg(2));
+/// b.halt();
+/// let program = b.build()?;
+///
+/// // Map and load the code.
+/// space.map_region(&mut pm, &mut alloc, program.base(), 1);
+/// for (va, _) in program.iter() {
+///     let idx = ((va - program.base()) / 4) as usize;
+///     space.write_u32(&mut pm, va, program.words()[idx])?;
+/// }
+///
+/// let mut interp = Interpreter::new(program.base());
+/// let summary = interp.run(&mut pm, &mut space, 100)?;
+/// assert!(summary.halted);
+/// assert_eq!(interp.int_regs()[3], 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    int: [u64; 32],
+    fp: [u64; 32],
+    pc: u64,
+    halted: bool,
+    retired: u64,
+    dtlb: Tlb,
+    dtlb_misses: u64,
+}
+
+impl Interpreter {
+    /// Creates an interpreter starting at `entry` with zeroed registers and
+    /// a 64-entry architectural DTLB (for miss counting only).
+    #[must_use]
+    pub fn new(entry: u64) -> Interpreter {
+        Interpreter {
+            int: [0; 32],
+            fp: [0; 32],
+            pc: entry,
+            halted: false,
+            retired: 0,
+            dtlb: Tlb::new(64),
+            dtlb_misses: 0,
+        }
+    }
+
+    /// The committed integer register file (`r31` always reads 0).
+    #[must_use]
+    pub fn int_regs(&self) -> &[u64; 32] {
+        &self.int
+    }
+
+    /// The committed floating-point register file.
+    #[must_use]
+    pub fn fp_regs(&self) -> &[u64; 32] {
+        &self.fp
+    }
+
+    /// The current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Whether the program has halted.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Total instructions retired.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Architectural DTLB misses observed so far (the workload's intrinsic
+    /// miss count — paper Table 2).
+    #[must_use]
+    pub fn dtlb_misses(&self) -> u64 {
+        self.dtlb_misses
+    }
+
+    fn read_int(&self, r: u8) -> u64 {
+        if r == 31 {
+            0
+        } else {
+            self.int[r as usize]
+        }
+    }
+
+    fn write_int(&mut self, r: u8, v: u64) {
+        if r != 31 {
+            self.int[r as usize] = v;
+        }
+    }
+
+    fn read_fp(&self, r: u8) -> u64 {
+        if r == 31 {
+            0.0f64.to_bits()
+        } else {
+            self.fp[r as usize]
+        }
+    }
+
+    fn write_fp(&mut self, r: u8, v: u64) {
+        if r != 31 {
+            self.fp[r as usize] = v;
+        }
+    }
+
+    fn translate_data(
+        &mut self,
+        pm: &PhysMem,
+        space: &AddressSpace,
+        pc: u64,
+        va: u64,
+    ) -> Result<u64, RefError> {
+        let vpn = va >> PAGE_SHIFT;
+        if self.dtlb.lookup(space.asid(), vpn).is_none() {
+            self.dtlb_misses += 1;
+            let pa_page = space
+                .translate(pm, va & !((1 << PAGE_SHIFT) - 1))
+                .map_err(|source| RefError::Vm { pc, source })?;
+            self.dtlb.insert(space.asid(), vpn, pa_page, None);
+        }
+        space.translate(pm, va).map_err(|source| RefError::Vm { pc, source })
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RefError`] on memory faults, undecodable words, or
+    /// privileged operations; the interpreter state is left at the faulting
+    /// instruction.
+    pub fn step(&mut self, pm: &mut PhysMem, space: &mut AddressSpace) -> Result<(), RefError> {
+        if self.halted {
+            return Ok(());
+        }
+        let pc = self.pc;
+        let word = space
+            .read_u32(pm, pc)
+            .map_err(|source| RefError::Vm { pc, source })?;
+        let inst = Inst::decode(word).map_err(|_| RefError::BadInstruction { pc })?;
+        if inst.op.is_privileged() {
+            return Err(RefError::PrivilegeViolation { pc, op: inst.op });
+        }
+
+        let mut next_pc = pc.wrapping_add(4);
+        use Op::*;
+        match inst.op {
+            Add | Sub | Mul | Divu | And | Or | Xor | Sll | Srl | Sra | Cmpeq | Cmplt | Cmple
+            | Cmpult => {
+                let v = exec::int_rr(inst.op, self.read_int(inst.ra), self.read_int(inst.rb));
+                self.write_int(inst.rc, v);
+            }
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Cmpeqi | Cmplti | Ldi | Shlori => {
+                let v = exec::int_ri(inst.op, self.read_int(inst.ra), inst.imm);
+                self.write_int(inst.rb, v);
+            }
+            Fadd | Fsub | Fmul | Fdiv => {
+                let v = exec::fp_rr(inst.op, self.read_fp(inst.ra), self.read_fp(inst.rb));
+                self.write_fp(inst.rc, v);
+            }
+            Fsqrt => {
+                let v = exec::fp_rr(inst.op, self.read_fp(inst.ra), 0);
+                self.write_fp(inst.rc, v);
+            }
+            Fcmpeq | Fcmplt => {
+                let v = exec::fp_rr(inst.op, self.read_fp(inst.ra), self.read_fp(inst.rb));
+                self.write_int(inst.rc, v);
+            }
+            Itof => {
+                let v = exec::fp_rr(inst.op, self.read_int(inst.ra), 0);
+                self.write_fp(inst.rc, v);
+            }
+            Ftoi => {
+                let v = exec::fp_rr(inst.op, self.read_fp(inst.ra), 0);
+                self.write_int(inst.rc, v);
+            }
+            Ldq | Fldq => {
+                let va = exec::align8(exec::effective_addr(self.read_int(inst.ra), inst.imm));
+                let pa = self.translate_data(pm, space, pc, va)?;
+                let v = pm.read_u64(pa);
+                if inst.op == Ldq {
+                    self.write_int(inst.rb, v);
+                } else {
+                    self.write_fp(inst.rb, v);
+                }
+            }
+            Stq | Fstq => {
+                let va = exec::align8(exec::effective_addr(self.read_int(inst.ra), inst.imm));
+                let pa = self.translate_data(pm, space, pc, va)?;
+                let v = if inst.op == Stq {
+                    self.read_int(inst.rb)
+                } else {
+                    self.read_fp(inst.rb)
+                };
+                pm.write_u64(pa, v);
+            }
+            Beq | Bne | Blt | Bge | Bgt | Ble => {
+                if exec::branch_taken(inst.op, self.read_int(inst.ra)) {
+                    next_pc = exec::direct_target(pc, inst.imm);
+                }
+            }
+            Br => next_pc = exec::direct_target(pc, inst.imm),
+            Jal => {
+                self.write_int(inst.ra, pc.wrapping_add(4));
+                next_pc = exec::direct_target(pc, inst.imm);
+            }
+            Jr => next_pc = self.read_int(inst.rb),
+            Jalr => {
+                let target = self.read_int(inst.rb);
+                self.write_int(inst.ra, pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Ret => next_pc = self.read_int(inst.ra),
+            Nop => {}
+            Halt => {
+                self.halted = true;
+                next_pc = pc;
+            }
+            Mfpr | Mtpr | Tlbwr | Rfe | Hardexc | Mtdst => {
+                unreachable!("privileged ops rejected above")
+            }
+        }
+        self.pc = next_pc;
+        self.retired += 1;
+        Ok(())
+    }
+
+    /// Runs up to `max_insts` instructions or until `HALT`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RefError`] encountered.
+    pub fn run(
+        &mut self,
+        pm: &mut PhysMem,
+        space: &mut AddressSpace,
+        max_insts: u64,
+    ) -> Result<RunSummary, RefError> {
+        let start = self.retired;
+        while !self.halted && self.retired - start < max_insts {
+            self.step(pm, space)?;
+        }
+        Ok(RunSummary { retired: self.retired - start, halted: self.halted })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtx_isa::{ProgramBuilder, Reg};
+    use smtx_mem::{PhysAlloc, PAGE_SIZE};
+
+    fn load(
+        program: &smtx_isa::Program,
+        pm: &mut PhysMem,
+        space: &mut AddressSpace,
+        alloc: &mut PhysAlloc,
+    ) {
+        let pages = ((program.len() as u64 * 4).div_ceil(PAGE_SIZE)).max(1);
+        space.map_region(pm, alloc, program.base(), pages);
+        for (i, &word) in program.words().iter().enumerate() {
+            space
+                .write_u32(pm, program.base() + i as u64 * 4, word)
+                .expect("code page mapped");
+        }
+    }
+
+    fn fresh() -> (PhysMem, PhysAlloc, AddressSpace) {
+        let mut pm = PhysMem::new();
+        let mut alloc = PhysAlloc::new();
+        let space = AddressSpace::new(3, &mut pm, &mut alloc);
+        (pm, alloc, space)
+    }
+
+    #[test]
+    fn arithmetic_loop_sums_correctly() {
+        let (mut pm, mut alloc, mut space) = fresh();
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 10); // counter
+        b.li(Reg(2), 0); // acc
+        b.label("loop");
+        b.add(Reg(2), Reg(2), Reg(1));
+        b.addi(Reg(1), Reg(1), -1);
+        b.bne(Reg(1), "loop");
+        b.halt();
+        let p = b.build().unwrap();
+        load(&p, &mut pm, &mut space, &mut alloc);
+        let mut interp = Interpreter::new(p.base());
+        let s = interp.run(&mut pm, &mut space, 1000).unwrap();
+        assert!(s.halted);
+        assert_eq!(interp.int_regs()[2], 55);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip_and_count_tlb_misses() {
+        let (mut pm, mut alloc, mut space) = fresh();
+        let data = 0x2000_0000u64;
+        space.map_region(&mut pm, &mut alloc, data, 2);
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), data);
+        b.li(Reg(2), 0x1234);
+        b.stq(Reg(2), Reg(1), 0); // page 0: miss 1
+        b.ldq(Reg(3), Reg(1), 0);
+        b.li(Reg(4), data + PAGE_SIZE);
+        b.stq(Reg(3), Reg(4), 8); // page 1: miss 2
+        b.halt();
+        let p = b.build().unwrap();
+        load(&p, &mut pm, &mut space, &mut alloc);
+        let mut interp = Interpreter::new(p.base());
+        interp.run(&mut pm, &mut space, 1000).unwrap();
+        assert_eq!(interp.int_regs()[3], 0x1234);
+        assert_eq!(space.read_u64(&pm, data + PAGE_SIZE + 8).unwrap(), 0x1234);
+        assert_eq!(interp.dtlb_misses(), 2, "one miss per distinct page");
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let (mut pm, mut alloc, mut space) = fresh();
+        let mut b = ProgramBuilder::new();
+        b.call("double"); // r26 = link
+        b.halt();
+        b.label("double");
+        b.li(Reg(1), 21);
+        b.add(Reg(1), Reg(1), Reg(1));
+        b.ret_();
+        let p = b.build().unwrap();
+        load(&p, &mut pm, &mut space, &mut alloc);
+        let mut interp = Interpreter::new(p.base());
+        let s = interp.run(&mut pm, &mut space, 100).unwrap();
+        assert!(s.halted);
+        assert_eq!(interp.int_regs()[1], 42);
+    }
+
+    #[test]
+    fn unmapped_access_is_an_error() {
+        let (mut pm, mut alloc, mut space) = fresh();
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 0x7fff_0000);
+        b.ldq(Reg(2), Reg(1), 0);
+        b.halt();
+        let p = b.build().unwrap();
+        load(&p, &mut pm, &mut space, &mut alloc);
+        let mut interp = Interpreter::new(p.base());
+        let err = interp.run(&mut pm, &mut space, 100).unwrap_err();
+        assert!(matches!(err, RefError::Vm { .. }));
+    }
+
+    #[test]
+    fn privileged_op_in_user_mode_is_an_error() {
+        let (mut pm, mut alloc, mut space) = fresh();
+        let mut b = ProgramBuilder::new();
+        b.rfe();
+        let p = b.build().unwrap();
+        load(&p, &mut pm, &mut space, &mut alloc);
+        let mut interp = Interpreter::new(p.base());
+        let err = interp.step(&mut pm, &mut space).unwrap_err();
+        assert!(matches!(err, RefError::PrivilegeViolation { op: Op::Rfe, .. }));
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let (mut pm, mut alloc, mut space) = fresh();
+        let mut b = ProgramBuilder::new();
+        b.addi(Reg(31), Reg(31), 5);
+        b.add(Reg(1), Reg(31), Reg(31));
+        b.halt();
+        let p = b.build().unwrap();
+        load(&p, &mut pm, &mut space, &mut alloc);
+        let mut interp = Interpreter::new(p.base());
+        interp.run(&mut pm, &mut space, 10).unwrap();
+        assert_eq!(interp.int_regs()[1], 0);
+    }
+
+    #[test]
+    fn fp_pipeline_computes() {
+        let (mut pm, mut alloc, mut space) = fresh();
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 16);
+        b.itof(smtx_isa::FReg(1), Reg(1));
+        b.fsqrt(smtx_isa::FReg(2), smtx_isa::FReg(1));
+        b.ftoi(Reg(2), smtx_isa::FReg(2));
+        b.halt();
+        let p = b.build().unwrap();
+        load(&p, &mut pm, &mut space, &mut alloc);
+        let mut interp = Interpreter::new(p.base());
+        interp.run(&mut pm, &mut space, 100).unwrap();
+        assert_eq!(interp.int_regs()[2], 4);
+    }
+
+    #[test]
+    fn budget_stops_mid_program() {
+        let (mut pm, mut alloc, mut space) = fresh();
+        let mut b = ProgramBuilder::new();
+        b.label("spin");
+        b.addi(Reg(1), Reg(1), 1);
+        b.br("spin");
+        let p = b.build().unwrap();
+        load(&p, &mut pm, &mut space, &mut alloc);
+        let mut interp = Interpreter::new(p.base());
+        let s = interp.run(&mut pm, &mut space, 10).unwrap();
+        assert!(!s.halted);
+        assert_eq!(s.retired, 10);
+        assert_eq!(interp.int_regs()[1], 5);
+    }
+}

@@ -1,0 +1,597 @@
+//! A small assembler: emit instructions, place labels, build a [`Program`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::{EncodeError, Inst, DISP19_MAX, DISP19_MIN, IMM14_MAX, IMM14_MIN};
+use crate::op::Op;
+use crate::program::Program;
+use crate::reg::{FReg, PrivReg, Reg};
+
+/// Default base virtual address for user programs.
+pub const DEFAULT_CODE_BASE: u64 = 0x1000_0000;
+
+/// The conventional link register used by [`ProgramBuilder::call`] and
+/// [`ProgramBuilder::ret_`].
+pub const LINK_REG: Reg = Reg(26);
+
+/// Error produced by [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A branch referenced a label that was never placed.
+    UnknownLabel {
+        /// The label name.
+        name: String,
+    },
+    /// The same label was placed twice.
+    DuplicateLabel {
+        /// The label name.
+        name: String,
+    },
+    /// A branch target is further away than the 19-bit displacement reaches.
+    BranchOutOfRange {
+        /// The label name.
+        name: String,
+        /// The displacement that did not fit.
+        disp: i64,
+    },
+    /// An emitted instruction had an out-of-range field.
+    Encode(EncodeError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownLabel { name } => write!(f, "unknown label `{name}`"),
+            BuildError::DuplicateLabel { name } => write!(f, "duplicate label `{name}`"),
+            BuildError::BranchOutOfRange { name, disp } => {
+                write!(f, "branch to `{name}` out of range (displacement {disp})")
+            }
+            BuildError::Encode(e) => write!(f, "encoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EncodeError> for BuildError {
+    fn from(e: EncodeError) -> Self {
+        BuildError::Encode(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Fixup {
+    index: usize,
+    label: String,
+}
+
+/// An incremental assembler for [`Program`]s.
+///
+/// Emit methods append one instruction each and follow destination-first
+/// argument order (`add(rc, ra, rb)` means `rc = ra + rb`). Labels may be
+/// referenced before they are placed; displacements are resolved by
+/// [`ProgramBuilder::build`].
+///
+/// ```
+/// use smtx_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg(1), 0xdead_beef_0000);   // pseudo-instruction: expands as needed
+/// b.beq(Reg(1), "done");            // forward reference
+/// b.addi(Reg(2), Reg(1), 1);
+/// b.label("done");
+/// b.halt();
+/// let program = b.build()?;
+/// # Ok::<(), smtx_isa::BuildError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<Fixup>,
+    base: u64,
+    duplicate: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder linking at [`DEFAULT_CODE_BASE`].
+    #[must_use]
+    pub fn new() -> ProgramBuilder {
+        Self::with_base(DEFAULT_CODE_BASE)
+    }
+
+    /// Creates a builder linking at the given base virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    #[must_use]
+    pub fn with_base(base: u64) -> ProgramBuilder {
+        assert_eq!(base % 4, 0, "code base must be 4-byte aligned");
+        ProgramBuilder { base, ..ProgramBuilder::default() }
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if nothing has been emitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The virtual address the *next* emitted instruction will get.
+    #[must_use]
+    pub fn here(&self) -> u64 {
+        self.base + (self.insts.len() as u64) * 4
+    }
+
+    /// Places a label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.insts.len()).is_some() {
+            self.duplicate.get_or_insert(name);
+        }
+        self
+    }
+
+    /// Appends a raw instruction (escape hatch; prefer the typed emitters).
+    pub fn raw(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn emit_branch(&mut self, op: Op, ra: u8, label: impl Into<String>) -> &mut Self {
+        self.fixups.push(Fixup { index: self.insts.len(), label: label.into() });
+        self.insts.push(Inst::b(op, ra, 0));
+        self
+    }
+
+    // ---- integer register-register ----
+
+    /// `rc = ra + rb`.
+    pub fn add(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Add, ra.0, rb.0, rc.0))
+    }
+    /// `rc = ra - rb`.
+    pub fn sub(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Sub, ra.0, rb.0, rc.0))
+    }
+    /// `rc = ra * rb`.
+    pub fn mul(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Mul, ra.0, rb.0, rc.0))
+    }
+    /// `rc = ra / rb` (unsigned; 0 if `rb == 0`).
+    pub fn divu(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Divu, ra.0, rb.0, rc.0))
+    }
+    /// `rc = ra & rb`.
+    pub fn and(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::And, ra.0, rb.0, rc.0))
+    }
+    /// `rc = ra | rb`.
+    pub fn or(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Or, ra.0, rb.0, rc.0))
+    }
+    /// `rc = ra ^ rb`.
+    pub fn xor(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Xor, ra.0, rb.0, rc.0))
+    }
+    /// `rc = ra << rb`.
+    pub fn sll(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Sll, ra.0, rb.0, rc.0))
+    }
+    /// `rc = ra >> rb` (logical).
+    pub fn srl(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Srl, ra.0, rb.0, rc.0))
+    }
+    /// `rc = ra >> rb` (arithmetic).
+    pub fn sra(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Sra, ra.0, rb.0, rc.0))
+    }
+    /// `rc = (ra == rb)`.
+    pub fn cmpeq(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Cmpeq, ra.0, rb.0, rc.0))
+    }
+    /// `rc = (ra < rb)` signed.
+    pub fn cmplt(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Cmplt, ra.0, rb.0, rc.0))
+    }
+    /// `rc = (ra <= rb)` signed.
+    pub fn cmple(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Cmple, ra.0, rb.0, rc.0))
+    }
+    /// `rc = (ra < rb)` unsigned.
+    pub fn cmpult(&mut self, rc: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Cmpult, ra.0, rb.0, rc.0))
+    }
+
+    // ---- integer immediate ----
+
+    /// `rd = ra + imm`.
+    pub fn addi(&mut self, rd: Reg, ra: Reg, imm: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Addi, ra.0, rd.0, imm))
+    }
+    /// `rd = ra & imm` (zero-extended immediate).
+    pub fn andi(&mut self, rd: Reg, ra: Reg, imm: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Andi, ra.0, rd.0, imm))
+    }
+    /// `rd = ra | imm` (zero-extended immediate).
+    pub fn ori(&mut self, rd: Reg, ra: Reg, imm: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Ori, ra.0, rd.0, imm))
+    }
+    /// `rd = ra ^ imm` (zero-extended immediate).
+    pub fn xori(&mut self, rd: Reg, ra: Reg, imm: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Xori, ra.0, rd.0, imm))
+    }
+    /// `rd = ra << imm`.
+    pub fn slli(&mut self, rd: Reg, ra: Reg, imm: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Slli, ra.0, rd.0, imm))
+    }
+    /// `rd = ra >> imm` (logical).
+    pub fn srli(&mut self, rd: Reg, ra: Reg, imm: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Srli, ra.0, rd.0, imm))
+    }
+    /// `rd = ra >> imm` (arithmetic).
+    pub fn srai(&mut self, rd: Reg, ra: Reg, imm: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Srai, ra.0, rd.0, imm))
+    }
+    /// `rd = (ra == imm)`.
+    pub fn cmpeqi(&mut self, rd: Reg, ra: Reg, imm: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Cmpeqi, ra.0, rd.0, imm))
+    }
+    /// `rd = (ra < imm)` signed.
+    pub fn cmplti(&mut self, rd: Reg, ra: Reg, imm: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Cmplti, ra.0, rd.0, imm))
+    }
+    /// `rd = imm` (14-bit signed constant).
+    pub fn ldi(&mut self, rd: Reg, imm: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Ldi, 0, rd.0, imm))
+    }
+    /// `rd = (ra << 14) | imm` (constant-materialization step).
+    pub fn shlori(&mut self, rd: Reg, ra: Reg, imm: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Shlori, ra.0, rd.0, imm))
+    }
+
+    /// Materializes an arbitrary 64-bit constant into `rd`
+    /// (pseudo-instruction; expands to 1–6 instructions).
+    pub fn li(&mut self, rd: Reg, value: u64) -> &mut Self {
+        let sval = value as i64;
+        if sval >= i64::from(IMM14_MIN) && sval <= i64::from(IMM14_MAX) {
+            return self.ldi(rd, sval as i32);
+        }
+        // Split into 14-bit chunks, most significant first. 5 chunks cover
+        // 70 ≥ 64 bits; the top chunk holds only the top 8 bits. SHLORI only
+        // uses the low 14 bits of its immediate field, so chunks ≥ 0x2000 are
+        // emitted sign-encoded to fit the signed field.
+        let chunks: Vec<i32> = (0..5)
+            .rev()
+            .map(|i| ((value >> (14 * i)) & 0x3fff) as i32)
+            .collect();
+        // Skip leading zero chunks, seed with LDI (chunk < 0x2000 keeps the
+        // seed positive so sign extension cannot corrupt high bits).
+        let mut started = false;
+        for &c in &chunks {
+            let c_signed = (c << 18) >> 18; // sign-encode the 14 field bits
+            if !started {
+                if c == 0 {
+                    continue;
+                }
+                if c < 0x2000 {
+                    self.ldi(rd, c);
+                } else {
+                    self.ldi(rd, 0);
+                    self.shlori(rd, rd, c_signed);
+                }
+                started = true;
+            } else {
+                self.shlori(rd, rd, c_signed);
+            }
+        }
+        if !started {
+            self.ldi(rd, 0);
+        }
+        self
+    }
+
+    // ---- floating point ----
+
+    /// `fc = fa + fb`.
+    pub fn fadd(&mut self, fc: FReg, fa: FReg, fb: FReg) -> &mut Self {
+        self.emit(Inst::r(Op::Fadd, fa.0, fb.0, fc.0))
+    }
+    /// `fc = fa - fb`.
+    pub fn fsub(&mut self, fc: FReg, fa: FReg, fb: FReg) -> &mut Self {
+        self.emit(Inst::r(Op::Fsub, fa.0, fb.0, fc.0))
+    }
+    /// `fc = fa * fb`.
+    pub fn fmul(&mut self, fc: FReg, fa: FReg, fb: FReg) -> &mut Self {
+        self.emit(Inst::r(Op::Fmul, fa.0, fb.0, fc.0))
+    }
+    /// `fc = fa / fb`.
+    pub fn fdiv(&mut self, fc: FReg, fa: FReg, fb: FReg) -> &mut Self {
+        self.emit(Inst::r(Op::Fdiv, fa.0, fb.0, fc.0))
+    }
+    /// `fc = sqrt(fa)`.
+    pub fn fsqrt(&mut self, fc: FReg, fa: FReg) -> &mut Self {
+        self.emit(Inst::r(Op::Fsqrt, fa.0, 0, fc.0))
+    }
+    /// `rc = (fa == fb)`.
+    pub fn fcmpeq(&mut self, rc: Reg, fa: FReg, fb: FReg) -> &mut Self {
+        self.emit(Inst::r(Op::Fcmpeq, fa.0, fb.0, rc.0))
+    }
+    /// `rc = (fa < fb)`.
+    pub fn fcmplt(&mut self, rc: Reg, fa: FReg, fb: FReg) -> &mut Self {
+        self.emit(Inst::r(Op::Fcmplt, fa.0, fb.0, rc.0))
+    }
+    /// `fc = ra as f64` (signed conversion).
+    pub fn itof(&mut self, fc: FReg, ra: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Itof, ra.0, 0, fc.0))
+    }
+    /// `rc = fa as i64` (truncating conversion).
+    pub fn ftoi(&mut self, rc: Reg, fa: FReg) -> &mut Self {
+        self.emit(Inst::r(Op::Ftoi, fa.0, 0, rc.0))
+    }
+
+    // ---- memory ----
+
+    /// `rd = mem64[base + off]`.
+    pub fn ldq(&mut self, rd: Reg, base: Reg, off: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Ldq, base.0, rd.0, off))
+    }
+    /// `mem64[base + off] = rs`.
+    pub fn stq(&mut self, rs: Reg, base: Reg, off: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Stq, base.0, rs.0, off))
+    }
+    /// `fd = mem64[base + off]`.
+    pub fn fldq(&mut self, fd: FReg, base: Reg, off: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Fldq, base.0, fd.0, off))
+    }
+    /// `mem64[base + off] = fs`.
+    pub fn fstq(&mut self, fs: FReg, base: Reg, off: i32) -> &mut Self {
+        self.emit(Inst::i(Op::Fstq, base.0, fs.0, off))
+    }
+
+    // ---- control ----
+
+    /// Branch to `label` if `ra == 0`.
+    pub fn beq(&mut self, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.emit_branch(Op::Beq, ra.0, label)
+    }
+    /// Branch to `label` if `ra != 0`.
+    pub fn bne(&mut self, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.emit_branch(Op::Bne, ra.0, label)
+    }
+    /// Branch to `label` if `ra < 0` (signed).
+    pub fn blt(&mut self, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.emit_branch(Op::Blt, ra.0, label)
+    }
+    /// Branch to `label` if `ra >= 0` (signed).
+    pub fn bge(&mut self, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.emit_branch(Op::Bge, ra.0, label)
+    }
+    /// Branch to `label` if `ra > 0` (signed).
+    pub fn bgt(&mut self, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.emit_branch(Op::Bgt, ra.0, label)
+    }
+    /// Branch to `label` if `ra <= 0` (signed).
+    pub fn ble(&mut self, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.emit_branch(Op::Ble, ra.0, label)
+    }
+    /// Unconditional branch to `label`.
+    pub fn br(&mut self, label: impl Into<String>) -> &mut Self {
+        self.emit_branch(Op::Br, 0, label)
+    }
+    /// Direct call to `label`, linking into `link`.
+    pub fn jal(&mut self, link: Reg, label: impl Into<String>) -> &mut Self {
+        self.emit_branch(Op::Jal, link.0, label)
+    }
+    /// Direct call to `label` using the conventional link register.
+    pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
+        self.jal(LINK_REG, label)
+    }
+    /// Indirect jump to the address in `target`.
+    pub fn jr(&mut self, target: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Jr, 0, target.0, 0))
+    }
+    /// Indirect call to the address in `target`, linking into `link`.
+    pub fn jalr(&mut self, link: Reg, target: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Jalr, link.0, target.0, 0))
+    }
+    /// Return to the address in `ra` (RAS-predicted).
+    pub fn ret(&mut self, ra: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Ret, ra.0, 0, 0))
+    }
+    /// Return via the conventional link register.
+    pub fn ret_(&mut self) -> &mut Self {
+        self.ret(LINK_REG)
+    }
+
+    // ---- privileged ----
+
+    /// `rd = privileged register`.
+    pub fn mfpr(&mut self, rd: Reg, pr: PrivReg) -> &mut Self {
+        self.emit(Inst::i(Op::Mfpr, 0, rd.0, pr.index() as i32))
+    }
+    /// `privileged register = rs`.
+    pub fn mtpr(&mut self, pr: PrivReg, rs: Reg) -> &mut Self {
+        self.emit(Inst::i(Op::Mtpr, 0, rs.0, pr.index() as i32))
+    }
+    /// Write the DTLB: virtual address in `va`, PTE in `pte`.
+    pub fn tlbwr(&mut self, va: Reg, pte: Reg) -> &mut Self {
+        self.emit(Inst::r(Op::Tlbwr, va.0, pte.0, 0))
+    }
+    /// Write `rs` to the excepting instruction's destination register
+    /// (paper §6 generalized mechanism; emulated-instruction handlers).
+    pub fn mtdst(&mut self, rs: Reg) -> &mut Self {
+        self.emit(Inst::i(Op::Mtdst, 0, rs.0, 0))
+    }
+    /// Return from exception.
+    pub fn rfe(&mut self) -> &mut Self {
+        self.emit(Inst::n(Op::Rfe))
+    }
+    /// Escalate to the traditional exception mechanism (paper §4.3).
+    pub fn hardexc(&mut self) -> &mut Self {
+        self.emit(Inst::n(Op::Hardexc))
+    }
+
+    // ---- misc ----
+
+    /// No operation.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Inst::n(Op::Nop))
+    }
+    /// Stop the thread.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Inst::n(Op::Halt))
+    }
+
+    /// Resolves labels and encodes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for unknown or duplicate labels,
+    /// out-of-range branch displacements, or invalid operand fields.
+    pub fn build(&self) -> Result<Program, BuildError> {
+        if let Some(name) = &self.duplicate {
+            return Err(BuildError::DuplicateLabel { name: name.clone() });
+        }
+        let mut insts = self.insts.clone();
+        for fixup in &self.fixups {
+            let target = *self
+                .labels
+                .get(&fixup.label)
+                .ok_or_else(|| BuildError::UnknownLabel { name: fixup.label.clone() })?;
+            let disp = target as i64 - (fixup.index as i64 + 1);
+            if disp < i64::from(DISP19_MIN) || disp > i64::from(DISP19_MAX) {
+                return Err(BuildError::BranchOutOfRange { name: fixup.label.clone(), disp });
+            }
+            insts[fixup.index].imm = disp as i32;
+        }
+        let words = insts
+            .iter()
+            .map(|inst| inst.encode())
+            .collect::<Result<Vec<u32>, EncodeError>>()?;
+        Ok(Program::new(words, self.base, self.labels.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::ZERO_REG;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut b = ProgramBuilder::new();
+        b.label("top");
+        b.addi(Reg(1), Reg(1), -1);
+        b.bne(Reg(1), "top"); // backward: disp = 0 - 2 = -2
+        b.beq(Reg(1), "end"); // forward
+        b.nop();
+        b.label("end");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.inst(1).unwrap().imm, -2);
+        assert_eq!(p.inst(2).unwrap().imm, 1);
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.br("nowhere");
+        assert_eq!(
+            b.build(),
+            Err(BuildError::UnknownLabel { name: "nowhere".into() })
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.label("x");
+        b.nop();
+        b.label("x");
+        b.halt();
+        assert_eq!(b.build(), Err(BuildError::DuplicateLabel { name: "x".into() }));
+    }
+
+    /// Interprets the constant-materialization sequence `li` emits.
+    fn eval_li(p: &Program, rd: u8) -> u64 {
+        let mut val: u64 = 0;
+        for (_, inst) in p.iter() {
+            match inst.op {
+                Op::Ldi => {
+                    assert_eq!(inst.rb, rd);
+                    val = inst.imm as i64 as u64;
+                }
+                Op::Shlori => {
+                    assert_eq!(inst.rb, rd);
+                    val = (val << 14) | (inst.imm as u32 as u64 & 0x3fff);
+                }
+                Op::Halt => {}
+                other => panic!("unexpected op in li expansion: {other}"),
+            }
+        }
+        val
+    }
+
+    #[test]
+    fn li_materializes_exact_constants() {
+        let cases = [
+            0u64,
+            1,
+            8191,
+            8192,
+            0x2000,
+            u64::from(u32::MAX),
+            0xdead_beef_cafe_f00d,
+            u64::MAX,
+            1 << 63,
+            (1 << 63) - 1,
+            0x1000_0000,
+        ];
+        for value in cases {
+            let mut b = ProgramBuilder::new();
+            b.li(Reg(5), value);
+            b.halt();
+            let p = b.build().unwrap();
+            assert_eq!(eval_li(&p, 5), value, "li({value:#x})");
+            assert!(p.len() <= 7, "li expansion too long for {value:#x}");
+        }
+    }
+
+    #[test]
+    fn li_small_constants_are_single_instruction() {
+        for value in [0u64, 1, 100, 8191] {
+            let mut b = ProgramBuilder::new();
+            b.li(ZERO_REG, value);
+            let p = b.build().unwrap();
+            assert_eq!(p.len(), 1, "li({value}) should be one LDI");
+        }
+    }
+
+    #[test]
+    fn builder_here_tracks_addresses() {
+        let mut b = ProgramBuilder::with_base(0x8000);
+        assert_eq!(b.here(), 0x8000);
+        b.nop();
+        assert_eq!(b.here(), 0x8004);
+    }
+}

@@ -1,0 +1,371 @@
+//! The 32-bit instruction word: encoding, decoding and disassembly.
+
+use core::fmt;
+
+use crate::op::{Op, OpFormat};
+use crate::reg::PrivReg;
+
+/// Range of the signed 14-bit immediate of I-format instructions.
+pub const IMM14_MIN: i32 = -(1 << 13);
+/// Maximum of the signed 14-bit immediate of I-format instructions.
+pub const IMM14_MAX: i32 = (1 << 13) - 1;
+/// Range of the signed 19-bit displacement of B-format instructions.
+pub const DISP19_MIN: i32 = -(1 << 18);
+/// Maximum of the signed 19-bit displacement of B-format instructions.
+pub const DISP19_MAX: i32 = (1 << 18) - 1;
+
+/// A decoded instruction.
+///
+/// Operand roles depend on [`Op::format`]:
+///
+/// * **R**: `rc <- ra op rb` (for `TLBWR`: `ra` = VA, `rb` = PTE; for
+///   `JR`/`JALR`: target in `rb`, link in `ra`; for `RET`: target in `ra`).
+/// * **I**: `rb <- ra op imm` (loads: dest `rb`, base `ra`; stores: data
+///   `rb`, base `ra`; `MFPR`: dest `rb`, privileged index in `imm`; `MTPR`:
+///   source `rb`, privileged index in `imm`).
+/// * **B**: test register `ra`, displacement `imm` counted in instructions
+///   relative to the *next* PC (`JAL` links into `ra`).
+/// * **N**: no operands.
+///
+/// Construct instructions through [`crate::ProgramBuilder`] rather than by
+/// filling fields manually; the builder enforces operand ranges.
+///
+/// ```
+/// use smtx_isa::{Inst, Op};
+///
+/// let inst = Inst::r(Op::Add, 1, 2, 3);
+/// let word = inst.encode()?;
+/// assert_eq!(Inst::decode(word)?, inst);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+    /// First register field (see format docs above).
+    pub ra: u8,
+    /// Second register field.
+    pub rb: u8,
+    /// Third register field (R format only).
+    pub rc: u8,
+    /// Immediate / displacement (I and B formats).
+    pub imm: i32,
+}
+
+/// Error produced by [`Inst::encode`] when a field is out of range for the
+/// instruction's format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A register field exceeds 31.
+    RegisterOutOfRange {
+        /// The offending instruction.
+        inst: Inst,
+    },
+    /// The immediate does not fit the format's field width.
+    ImmediateOutOfRange {
+        /// The offending instruction.
+        inst: Inst,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::RegisterOutOfRange { inst } => {
+                write!(f, "register field out of range in `{inst}`")
+            }
+            EncodeError::ImmediateOutOfRange { inst } => {
+                write!(f, "immediate out of range in `{inst}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error produced by [`Inst::decode`] for a malformed instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not name an operation.
+    BadOpcode {
+        /// The opcode byte found.
+        opcode: u8,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode { opcode } => write!(f, "invalid opcode byte {opcode:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Inst {
+    /// Builds an R-format instruction `rc <- ra op rb`.
+    #[must_use]
+    pub fn r(op: Op, ra: u8, rb: u8, rc: u8) -> Inst {
+        debug_assert_eq!(op.format(), OpFormat::R);
+        Inst { op, ra, rb, rc, imm: 0 }
+    }
+
+    /// Builds an I-format instruction `rb <- ra op imm`.
+    #[must_use]
+    pub fn i(op: Op, ra: u8, rb: u8, imm: i32) -> Inst {
+        debug_assert_eq!(op.format(), OpFormat::I);
+        Inst { op, ra, rb, rc: 0, imm }
+    }
+
+    /// Builds a B-format instruction testing `ra` with displacement `disp`.
+    #[must_use]
+    pub fn b(op: Op, ra: u8, disp: i32) -> Inst {
+        debug_assert_eq!(op.format(), OpFormat::B);
+        Inst { op, ra, rb: 0, rc: 0, imm: disp }
+    }
+
+    /// Builds an operand-less instruction.
+    #[must_use]
+    pub fn n(op: Op) -> Inst {
+        debug_assert_eq!(op.format(), OpFormat::N);
+        Inst { op, ra: 0, rb: 0, rc: 0, imm: 0 }
+    }
+
+    /// Encodes the instruction into its 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] if a register field is ≥ 32 or the immediate
+    /// does not fit its field (14 bits signed for I format, 19 bits signed
+    /// for B format).
+    pub fn encode(self) -> Result<u32, EncodeError> {
+        let regs_ok = |regs: &[u8]| regs.iter().all(|&r| r < 32);
+        let op_bits = u32::from(self.op.opcode()) << 24;
+        match self.op.format() {
+            OpFormat::R => {
+                if !regs_ok(&[self.ra, self.rb, self.rc]) {
+                    return Err(EncodeError::RegisterOutOfRange { inst: self });
+                }
+                Ok(op_bits
+                    | (u32::from(self.ra) << 19)
+                    | (u32::from(self.rb) << 14)
+                    | (u32::from(self.rc) << 9))
+            }
+            OpFormat::I => {
+                if !regs_ok(&[self.ra, self.rb]) {
+                    return Err(EncodeError::RegisterOutOfRange { inst: self });
+                }
+                if self.imm < IMM14_MIN || self.imm > IMM14_MAX {
+                    return Err(EncodeError::ImmediateOutOfRange { inst: self });
+                }
+                let imm = (self.imm as u32) & 0x3fff;
+                Ok(op_bits | (u32::from(self.ra) << 19) | (u32::from(self.rb) << 14) | imm)
+            }
+            OpFormat::B => {
+                if !regs_ok(&[self.ra]) {
+                    return Err(EncodeError::RegisterOutOfRange { inst: self });
+                }
+                if self.imm < DISP19_MIN || self.imm > DISP19_MAX {
+                    return Err(EncodeError::ImmediateOutOfRange { inst: self });
+                }
+                let disp = (self.imm as u32) & 0x7ffff;
+                Ok(op_bits | (u32::from(self.ra) << 19) | disp)
+            }
+            OpFormat::N => Ok(op_bits),
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BadOpcode`] if the opcode byte is not a valid
+    /// operation.
+    pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+        let opcode = (word >> 24) as u8;
+        let op = Op::from_opcode(opcode).ok_or(DecodeError::BadOpcode { opcode })?;
+        let inst = match op.format() {
+            OpFormat::R => Inst {
+                op,
+                ra: ((word >> 19) & 0x1f) as u8,
+                rb: ((word >> 14) & 0x1f) as u8,
+                rc: ((word >> 9) & 0x1f) as u8,
+                imm: 0,
+            },
+            OpFormat::I => {
+                // Sign-extend the 14-bit immediate.
+                let imm = ((word & 0x3fff) as i32) << 18 >> 18;
+                Inst {
+                    op,
+                    ra: ((word >> 19) & 0x1f) as u8,
+                    rb: ((word >> 14) & 0x1f) as u8,
+                    rc: 0,
+                    imm,
+                }
+            }
+            OpFormat::B => {
+                // Sign-extend the 19-bit displacement.
+                let disp = ((word & 0x7ffff) as i32) << 13 >> 13;
+                Inst {
+                    op,
+                    ra: ((word >> 19) & 0x1f) as u8,
+                    rb: 0,
+                    rc: 0,
+                    imm: disp,
+                }
+            }
+            OpFormat::N => Inst { op, ra: 0, rb: 0, rc: 0, imm: 0 },
+        };
+        Ok(inst)
+    }
+}
+
+impl fmt::Display for Inst {
+    /// Disassembles the instruction.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Op::*;
+        let m = self.op.mnemonic();
+        let fp = matches!(
+            self.op,
+            Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fldq | Fstq
+        );
+        let pfx = if fp { "f" } else { "r" };
+        match self.op {
+            Ldq | Fldq => write!(f, "{m} {pfx}{}, {}(r{})", self.rb, self.imm, self.ra),
+            Stq | Fstq => write!(f, "{m} {pfx}{}, {}(r{})", self.rb, self.imm, self.ra),
+            Mfpr => {
+                let pr = PrivReg::from_index(self.imm as usize);
+                match pr {
+                    Some(pr) => write!(f, "{m} r{}, {pr}", self.rb),
+                    None => write!(f, "{m} r{}, pr?{}", self.rb, self.imm),
+                }
+            }
+            Mtpr => {
+                let pr = PrivReg::from_index(self.imm as usize);
+                match pr {
+                    Some(pr) => write!(f, "{m} {pr}, r{}", self.rb),
+                    None => write!(f, "{m} pr?{}, r{}", self.imm, self.rb),
+                }
+            }
+            Tlbwr => write!(f, "{m} r{}, r{}", self.ra, self.rb),
+            Mtdst => write!(f, "{m} r{}", self.rb),
+            Jr => write!(f, "{m} (r{})", self.rb),
+            Jalr => write!(f, "{m} r{}, (r{})", self.ra, self.rb),
+            Ret => write!(f, "{m} (r{})", self.ra),
+            Jal => write!(f, "{m} r{}, {:+}", self.ra, self.imm),
+            Br => write!(f, "{m} {:+}", self.imm),
+            Beq | Bne | Blt | Bge | Bgt | Ble => write!(f, "{m} r{}, {:+}", self.ra, self.imm),
+            Ldi => write!(f, "{m} r{}, {}", self.rb, self.imm),
+            Shlori => write!(f, "{m} r{}, r{}, {}", self.rb, self.ra, self.imm),
+            Itof => write!(f, "{m} f{}, r{}", self.rc, self.ra),
+            Ftoi => write!(f, "{m} r{}, f{}", self.rc, self.ra),
+            Fsqrt => write!(f, "{m} f{}, f{}", self.rc, self.ra),
+            Fcmpeq | Fcmplt => write!(f, "{m} r{}, f{}, f{}", self.rc, self.ra, self.rb),
+            Nop | Halt | Rfe | Hardexc => f.write_str(m),
+            _ => match self.op.format() {
+                OpFormat::R => write!(
+                    f,
+                    "{m} {pfx}{}, {pfx}{}, {pfx}{}",
+                    self.rc, self.ra, self.rb
+                ),
+                OpFormat::I => write!(f, "{m} r{}, r{}, {}", self.rb, self.ra, self.imm),
+                _ => write!(f, "{m}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_ops() -> impl Iterator<Item = Op> {
+        (0..=crate::op::MAX_OPCODE).filter_map(Op::from_opcode)
+    }
+
+    #[test]
+    fn encode_decode_round_trip_representative() {
+        let cases = [
+            Inst::r(Op::Add, 1, 2, 3),
+            Inst::r(Op::Tlbwr, 4, 5, 0),
+            Inst::i(Op::Addi, 1, 2, -8192),
+            Inst::i(Op::Addi, 1, 2, 8191),
+            Inst::i(Op::Ldq, 9, 10, 4088),
+            Inst::i(Op::Mfpr, 0, 3, 0),
+            Inst::b(Op::Beq, 7, -262144),
+            Inst::b(Op::Br, 0, 262143),
+            Inst::n(Op::Rfe),
+            Inst::n(Op::Halt),
+        ];
+        for inst in cases {
+            let word = inst.encode().expect("valid instruction");
+            assert_eq!(Inst::decode(word).expect("decodes"), inst, "{inst}");
+        }
+    }
+
+    #[test]
+    fn every_op_round_trips_with_zero_operands() {
+        for op in all_ops() {
+            let inst = match op.format() {
+                OpFormat::R => Inst::r(op, 0, 0, 0),
+                OpFormat::I => Inst::i(op, 0, 0, 0),
+                OpFormat::B => Inst::b(op, 0, 0),
+                OpFormat::N => Inst::n(op),
+            };
+            let word = inst.encode().expect("valid");
+            assert_eq!(Inst::decode(word).expect("decodes"), inst);
+        }
+    }
+
+    #[test]
+    fn out_of_range_fields_are_rejected() {
+        assert!(matches!(
+            Inst { op: Op::Add, ra: 32, rb: 0, rc: 0, imm: 0 }.encode(),
+            Err(EncodeError::RegisterOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Inst::i(Op::Addi, 0, 0, 8192).encode(),
+            Err(EncodeError::ImmediateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Inst::i(Op::Addi, 0, 0, -8193).encode(),
+            Err(EncodeError::ImmediateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Inst::b(Op::Br, 0, 262144).encode(),
+            Err(EncodeError::ImmediateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_opcode_is_rejected() {
+        let word = 0xff00_0000u32;
+        assert_eq!(
+            Inst::decode(word),
+            Err(DecodeError::BadOpcode { opcode: 0xff })
+        );
+    }
+
+    #[test]
+    fn disassembly_is_never_empty() {
+        for op in all_ops() {
+            let inst = match op.format() {
+                OpFormat::R => Inst::r(op, 1, 2, 3),
+                OpFormat::I => Inst::i(op, 1, 2, 4),
+                OpFormat::B => Inst::b(op, 1, -2),
+                OpFormat::N => Inst::n(op),
+            };
+            assert!(!inst.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn disassembly_smoke() {
+        assert_eq!(Inst::r(Op::Add, 1, 2, 3).to_string(), "add r3, r1, r2");
+        assert_eq!(Inst::i(Op::Ldq, 5, 4, 16).to_string(), "ldq r4, 16(r5)");
+        assert_eq!(Inst::b(Op::Bne, 7, -3).to_string(), "bne r7, -3");
+        assert_eq!(Inst::i(Op::Mfpr, 0, 1, 0).to_string(), "mfpr r1, pr_fault_va");
+        assert_eq!(Inst::n(Op::Rfe).to_string(), "rfe");
+    }
+}

@@ -1,0 +1,49 @@
+//! # smtx-isa — the instruction set of the smtx simulator
+//!
+//! A small 64-bit RISC instruction set in the spirit of the Alpha ISA used by
+//! the paper *"The Use of Multithreading for Exception Handling"* (MICRO-32,
+//! 1999). It provides:
+//!
+//! * 32 integer registers (`r31` is hardwired to zero) and 32 floating-point
+//!   registers (`f31` is hardwired to +0.0),
+//! * a privileged register file ([`PrivReg`]) and the PAL-style privileged
+//!   instructions the paper's software TLB-miss handler needs (`MFPR`,
+//!   `MTPR`, `TLBWR`, `RFE`, `HARDEXC`),
+//! * a fixed 32-bit encoding with a lossless [`Inst::encode`] /
+//!   [`Inst::decode`] round trip,
+//! * a [`ProgramBuilder`] assembler with labels and constant-materialization
+//!   pseudo-instructions, and
+//! * a disassembler (the [`core::fmt::Display`] impl of [`Inst`]).
+//!
+//! # Example
+//!
+//! ```
+//! use smtx_isa::{ProgramBuilder, Reg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.li(Reg(1), 10);          // r1 = 10
+//! b.li(Reg(2), 0);           // r2 = 0 (accumulator)
+//! b.label("loop");
+//! b.add(Reg(2), Reg(2), Reg(1));
+//! b.addi(Reg(1), Reg(1), -1);
+//! b.bne(Reg(1), "loop");
+//! b.halt();
+//! let program = b.build()?;
+//! assert!(program.len() > 5);
+//! # Ok::<(), smtx_isa::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod inst;
+mod op;
+mod program;
+mod reg;
+
+pub use builder::{BuildError, ProgramBuilder};
+pub use inst::{DecodeError, EncodeError, Inst};
+pub use op::{BranchKind, FuClass, Op, OpFormat};
+pub use program::Program;
+pub use reg::{FReg, PrivReg, Reg, NUM_FREGS, NUM_PRIV_REGS, NUM_REGS, ZERO_FREG, ZERO_REG};

@@ -1,0 +1,156 @@
+//! Assembled programs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::{DecodeError, Inst};
+
+/// An assembled, position-fixed program: encoded instruction words, the base
+/// virtual address they are linked at, and the label table.
+///
+/// Produced by [`crate::ProgramBuilder::build`].
+///
+/// ```
+/// use smtx_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.label("start");
+/// b.addi(Reg(1), Reg(31), 5);
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.label_addr("start"), Some(p.base()));
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), smtx_isa::BuildError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    words: Vec<u32>,
+    base: u64,
+    symbols: HashMap<String, usize>,
+}
+
+impl Program {
+    pub(crate) fn new(words: Vec<u32>, base: u64, symbols: HashMap<String, usize>) -> Program {
+        Program { words, base, symbols }
+    }
+
+    /// The virtual address of the first instruction (also the entry point).
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if the program contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The encoded instruction words, in order.
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// The virtual address of the instruction at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn addr_of(&self, index: usize) -> u64 {
+        assert!(index < self.words.len(), "instruction index out of bounds");
+        self.base + (index as u64) * 4
+    }
+
+    /// Decodes the instruction at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the stored word is malformed (cannot
+    /// happen for programs produced by the builder).
+    pub fn inst(&self, index: usize) -> Result<Inst, DecodeError> {
+        Inst::decode(self.words[index])
+    }
+
+    /// The virtual address a label resolves to, if it exists.
+    #[must_use]
+    pub fn label_addr(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).map(|&idx| self.base + (idx as u64) * 4)
+    }
+
+    /// Iterates over `(virtual address, decoded instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Inst)> + '_ {
+        self.words.iter().enumerate().map(move |(i, &w)| {
+            (
+                self.base + (i as u64) * 4,
+                Inst::decode(w).expect("builder emits only valid words"),
+            )
+        })
+    }
+}
+
+impl fmt::Display for Program {
+    /// Disassembles the whole program, one instruction per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut by_index: Vec<(&str, usize)> = self
+            .symbols
+            .iter()
+            .map(|(name, &idx)| (name.as_str(), idx))
+            .collect();
+        by_index.sort_by_key(|&(_, idx)| idx);
+        let mut labels = by_index.into_iter().peekable();
+        for (i, (addr, inst)) in self.iter().enumerate() {
+            while let Some(&(name, idx)) = labels.peek() {
+                if idx > i {
+                    break;
+                }
+                writeln!(f, "{name}:")?;
+                labels.next();
+            }
+            writeln!(f, "  {addr:#010x}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ProgramBuilder, Reg};
+
+    #[test]
+    fn addresses_and_labels() {
+        let mut b = ProgramBuilder::with_base(0x4000);
+        b.nop();
+        b.label("here");
+        b.nop();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.base(), 0x4000);
+        assert_eq!(p.addr_of(0), 0x4000);
+        assert_eq!(p.addr_of(2), 0x4008);
+        assert_eq!(p.label_addr("here"), Some(0x4004));
+        assert_eq!(p.label_addr("missing"), None);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn display_includes_labels_and_instructions() {
+        let mut b = ProgramBuilder::new();
+        b.label("entry");
+        b.addi(Reg(1), Reg(31), 1);
+        b.halt();
+        let p = b.build().unwrap();
+        let text = p.to_string();
+        assert!(text.contains("entry:"), "{text}");
+        assert!(text.contains("addi r1, r31, 1"), "{text}");
+        assert!(text.contains("halt"), "{text}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Register name types.
+//!
+//! Newtypes keep integer registers, floating-point registers and privileged
+//! registers statically distinct (per C-NEWTYPE): a scheduler that renames
+//! integer registers can never be handed an [`FReg`] by accident.
+
+use core::fmt;
+
+/// Number of architectural integer registers.
+pub const NUM_REGS: usize = 32;
+/// Number of architectural floating-point registers.
+pub const NUM_FREGS: usize = 32;
+/// Number of privileged (PAL) registers.
+pub const NUM_PRIV_REGS: usize = 8;
+
+/// The integer register hardwired to zero (`r31`, Alpha style).
+pub const ZERO_REG: Reg = Reg(31);
+/// The floating-point register hardwired to `+0.0` (`f31`).
+pub const ZERO_FREG: FReg = FReg(31);
+
+/// An architectural integer register, `r0`–`r31`.
+///
+/// `r31` always reads as zero and writes to it are discarded.
+///
+/// ```
+/// use smtx_isa::{Reg, ZERO_REG};
+/// assert!(ZERO_REG.is_zero());
+/// assert!(!Reg(4).is_zero());
+/// assert_eq!(Reg(4).to_string(), "r4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Returns `true` for the hardwired-zero register `r31`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == ZERO_REG
+    }
+
+    /// The register index as a `usize`, suitable for register-file indexing.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the index is in range.
+    #[must_use]
+    pub fn index(self) -> usize {
+        debug_assert!((self.0 as usize) < NUM_REGS, "register out of range");
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An architectural floating-point register, `f0`–`f31`.
+///
+/// `f31` always reads as `+0.0` and writes to it are discarded.
+///
+/// ```
+/// use smtx_isa::FReg;
+/// assert_eq!(FReg(7).to_string(), "f7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FReg(pub u8);
+
+impl FReg {
+    /// Returns `true` for the hardwired-zero register `f31`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == ZERO_FREG
+    }
+
+    /// The register index as a `usize`, suitable for register-file indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        debug_assert!((self.0 as usize) < NUM_FREGS, "register out of range");
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A privileged (PAL-mode) register, readable with `MFPR` and writable with
+/// `MTPR`.
+///
+/// These model the internal processor registers the Alpha 21164 PALcode TLB
+/// miss handler uses: the faulting virtual address, the page-table base, the
+/// exception return PC, and a few scratch registers.
+///
+/// ```
+/// use smtx_isa::PrivReg;
+/// assert_eq!(PrivReg::FaultVa.to_string(), "pr_fault_va");
+/// assert_eq!(PrivReg::from_index(0), Some(PrivReg::FaultVa));
+/// assert_eq!(PrivReg::from_index(99), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrivReg {
+    /// The virtual address that missed in the DTLB (latched per exception,
+    /// renamed so multiple misses can be in flight — paper Table 1).
+    FaultVa,
+    /// Physical base address of the current thread's linear page table.
+    PtBase,
+    /// PC of the excepting instruction; `RFE` returns here.
+    ExcPc,
+    /// The address-space identifier of the faulting thread.
+    Asid,
+    /// Scratch register 0 (undefined at handler entry).
+    Scratch0,
+    /// Scratch register 1 (undefined at handler entry).
+    Scratch1,
+    /// Scratch register 2 (undefined at handler entry).
+    Scratch2,
+    /// Scratch register 3 (undefined at handler entry).
+    Scratch3,
+}
+
+impl PrivReg {
+    /// All privileged registers, in index order.
+    pub const ALL: [PrivReg; NUM_PRIV_REGS] = [
+        PrivReg::FaultVa,
+        PrivReg::PtBase,
+        PrivReg::ExcPc,
+        PrivReg::Asid,
+        PrivReg::Scratch0,
+        PrivReg::Scratch1,
+        PrivReg::Scratch2,
+        PrivReg::Scratch3,
+    ];
+
+    /// The register's encoding index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Looks a privileged register up by its encoding index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Option<PrivReg> {
+        PrivReg::ALL.get(index).copied()
+    }
+}
+
+impl fmt::Display for PrivReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PrivReg::FaultVa => "pr_fault_va",
+            PrivReg::PtBase => "pr_pt_base",
+            PrivReg::ExcPc => "pr_exc_pc",
+            PrivReg::Asid => "pr_asid",
+            PrivReg::Scratch0 => "pr_scratch0",
+            PrivReg::Scratch1 => "pr_scratch1",
+            PrivReg::Scratch2 => "pr_scratch2",
+            PrivReg::Scratch3 => "pr_scratch3",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_registers_are_flagged() {
+        assert!(ZERO_REG.is_zero());
+        assert!(ZERO_FREG.is_zero());
+        for i in 0..31 {
+            assert!(!Reg(i).is_zero());
+            assert!(!FReg(i).is_zero());
+        }
+    }
+
+    #[test]
+    fn priv_reg_index_round_trips() {
+        for (i, pr) in PrivReg::ALL.iter().enumerate() {
+            assert_eq!(pr.index(), i);
+            assert_eq!(PrivReg::from_index(i), Some(*pr));
+        }
+        assert_eq!(PrivReg::from_index(NUM_PRIV_REGS), None);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(Reg(0).to_string(), "r0");
+        assert_eq!(Reg(31).to_string(), "r31");
+        assert_eq!(FReg(31).to_string(), "f31");
+        assert_eq!(PrivReg::ExcPc.to_string(), "pr_exc_pc");
+    }
+}

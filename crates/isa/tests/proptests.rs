@@ -1,0 +1,66 @@
+//! Property-based tests for the ISA encoding and the assembler.
+
+use proptest::prelude::*;
+use smtx_isa::{Inst, Op, OpFormat, ProgramBuilder, Reg};
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u8..=255).prop_filter_map("valid opcode", Op::from_opcode)
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    (arb_op(), 0u8..32, 0u8..32, 0u8..32, -(1i32 << 18)..(1i32 << 18)).prop_map(
+        |(op, ra, rb, rc, imm)| match op.format() {
+            OpFormat::R => Inst::r(op, ra, rb, rc),
+            OpFormat::I => Inst::i(op, ra, rb, imm.clamp(-(1 << 13), (1 << 13) - 1)),
+            OpFormat::B => Inst::b(op, ra, imm),
+            OpFormat::N => Inst::n(op),
+        },
+    )
+}
+
+proptest! {
+    /// Any well-formed instruction encodes and decodes back to itself.
+    #[test]
+    fn encode_decode_round_trip(inst in arb_inst()) {
+        let word = inst.encode().expect("in-range operands encode");
+        prop_assert_eq!(Inst::decode(word).expect("decodes"), inst);
+    }
+
+    /// Decoding any 32-bit word either fails or re-encodes to an equivalent
+    /// canonical word that decodes to the same instruction (decode is a
+    /// projection onto the valid-instruction space).
+    #[test]
+    fn decode_is_a_projection(word in any::<u32>()) {
+        if let Ok(inst) = Inst::decode(word) {
+            let canon = inst.encode().expect("decoded instructions re-encode");
+            prop_assert_eq!(Inst::decode(canon).expect("canonical decodes"), inst);
+        }
+    }
+
+    /// `li` emits at most 6 instructions and the expansion, interpreted
+    /// sequentially, reproduces the constant exactly.
+    #[test]
+    fn li_is_exact(value in any::<u64>()) {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(3), value);
+        let p = b.build().expect("builds");
+        prop_assert!(p.len() >= 1 && p.len() <= 6);
+        let mut acc: u64 = 0;
+        for (_, inst) in p.iter() {
+            match inst.op {
+                Op::Ldi => acc = inst.imm as i64 as u64,
+                Op::Shlori => acc = (acc << 14) | (inst.imm as u32 as u64 & 0x3fff),
+                other => prop_assert!(false, "unexpected op {other}"),
+            }
+        }
+        prop_assert_eq!(acc, value);
+    }
+
+    /// Every disassembled instruction is non-empty and starts with its
+    /// mnemonic.
+    #[test]
+    fn disassembly_leads_with_mnemonic(inst in arb_inst()) {
+        let text = inst.to_string();
+        prop_assert!(text.starts_with(inst.op.mnemonic()));
+    }
+}

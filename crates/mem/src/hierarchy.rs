@@ -1,0 +1,303 @@
+//! The multi-level cache hierarchy timing model (paper Table 1).
+//!
+//! Latency accounting is calibrated so the paper's two headline numbers hold
+//! exactly: best load-use latency of 12 cycles for an L2 hit and 104 cycles
+//! for a memory access (3 of which are the load port's own latency, modelled
+//! by the pipeline).
+
+use std::collections::HashMap;
+
+use crate::cache::{Cache, CacheGeometry};
+use crate::Paddr;
+
+/// Which L1 a request enters through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// Instruction fetch (L1 I-cache).
+    Inst,
+    /// Data access (L1 D-cache) — loads, stores, PTE walks.
+    Data,
+}
+
+/// Configuration of the hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct MemConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheGeometry,
+    /// L1 data cache geometry.
+    pub l1d: CacheGeometry,
+    /// Unified L2 geometry.
+    pub l2: CacheGeometry,
+    /// L2 access latency in cycles.
+    pub l2_latency: u64,
+    /// Main-memory access latency in cycles.
+    pub mem_latency: u64,
+    /// L1/L2 bus occupancy per block transfer.
+    pub l1l2_bus_occupancy: u64,
+    /// L2/memory bus occupancy per block transfer.
+    pub l2mem_bus_occupancy: u64,
+    /// Extra cycle charged to detect a miss at each level.
+    pub miss_detect: u64,
+    /// Maximum outstanding misses (primary + secondary).
+    pub max_outstanding: usize,
+}
+
+impl MemConfig {
+    /// The configuration of paper Table 1: 64 KB 2-way 32 B-line L1s, 1 MB
+    /// 4-way 64 B-line L2 (6-cycle latency), 16 B L1/L2 bus (2-cycle
+    /// occupancy), 11-cycle L2/memory bus occupancy, 80-cycle memory,
+    /// 64 outstanding misses.
+    #[must_use]
+    pub fn paper_baseline() -> MemConfig {
+        MemConfig {
+            l1i: CacheGeometry { size: 64 * 1024, assoc: 2, line: 32 },
+            l1d: CacheGeometry { size: 64 * 1024, assoc: 2, line: 32 },
+            l2: CacheGeometry { size: 1024 * 1024, assoc: 4, line: 64 },
+            l2_latency: 6,
+            mem_latency: 80,
+            l1l2_bus_occupancy: 2,
+            l2mem_bus_occupancy: 11,
+            miss_detect: 1,
+            max_outstanding: 64,
+        }
+    }
+}
+
+/// Aggregate counters for the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1 instruction-cache hits and misses.
+    pub l1i: (u64, u64),
+    /// L1 data-cache hits and misses.
+    pub l1d: (u64, u64),
+    /// L2 hits and misses.
+    pub l2: (u64, u64),
+    /// Accesses that went all the way to memory.
+    pub mem_accesses: u64,
+    /// Accesses merged into an already-outstanding miss (MSHR secondary).
+    pub mshr_merges: u64,
+    /// Accesses delayed because all MSHRs were busy.
+    pub mshr_stalls: u64,
+}
+
+/// The full hierarchy: both L1s, the unified L2, inter-level buses with
+/// occupancy, and MSHR-style miss merging.
+///
+/// [`MemorySystem::access`] returns the number of *extra* cycles the access
+/// takes beyond the load port latency; `0` means an L1 hit with data
+/// available.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    l1l2_bus_free: u64,
+    l2mem_bus_free: u64,
+    /// In-flight fills keyed by (port, L1 line address) → fill-complete cycle.
+    inflight: HashMap<(Port, Paddr), u64>,
+    mem_accesses: u64,
+    mshr_merges: u64,
+    mshr_stalls: u64,
+}
+
+impl MemorySystem {
+    /// Creates a hierarchy with the given configuration.
+    #[must_use]
+    pub fn new(config: MemConfig) -> MemorySystem {
+        MemorySystem {
+            config,
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            l1l2_bus_free: 0,
+            l2mem_bus_free: 0,
+            inflight: HashMap::new(),
+            mem_accesses: 0,
+            mshr_merges: 0,
+            mshr_stalls: 0,
+        }
+    }
+
+    /// Creates the paper's Table 1 hierarchy.
+    #[must_use]
+    pub fn paper_baseline() -> MemorySystem {
+        MemorySystem::new(MemConfig::paper_baseline())
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Performs an access at cycle `now`, returning the extra delay in
+    /// cycles beyond the port latency (0 = L1 hit, data ready).
+    ///
+    /// Stores take the same path (write-allocate); wrong-path accesses take
+    /// the same path too, producing realistic pollution.
+    pub fn access(&mut self, port: Port, paddr: Paddr, now: u64) -> u64 {
+        let l1 = match port {
+            Port::Inst => &mut self.l1i,
+            Port::Data => &mut self.l1d,
+        };
+        let key = (port, l1.line_addr(paddr));
+        let hit = l1.access(paddr);
+        if hit {
+            // Tag hit, but the data may still be in flight (secondary miss).
+            if let Some(&fill) = self.inflight.get(&key) {
+                if fill > now {
+                    self.mshr_merges += 1;
+                    return fill - now;
+                }
+                self.inflight.remove(&key);
+            }
+            return 0;
+        }
+
+        // Primary miss: an MSHR must be free.
+        self.inflight.retain(|_, &mut fill| fill > now);
+        let mut start = now;
+        if self.inflight.len() >= self.config.max_outstanding {
+            let earliest = self.inflight.values().copied().min().expect("non-empty");
+            start = earliest;
+            self.mshr_stalls += 1;
+        }
+        let c = &self.config;
+        let at_l2 = start + c.miss_detect;
+        let data_at_l2 = if self.l2.access(paddr) {
+            at_l2 + c.l2_latency
+        } else {
+            self.mem_accesses += 1;
+            let xfer_start =
+                (at_l2 + c.l2_latency + c.miss_detect + c.mem_latency).max(self.l2mem_bus_free);
+            let arrival = xfer_start + c.l2mem_bus_occupancy;
+            self.l2mem_bus_free = arrival;
+            arrival
+        };
+        let fill_start = data_at_l2.max(self.l1l2_bus_free);
+        let fill = fill_start + c.l1l2_bus_occupancy;
+        self.l1l2_bus_free = fill;
+        self.inflight.insert(key, fill);
+        fill - now
+    }
+
+    /// Convenience: a data-port access.
+    pub fn access_data(&mut self, paddr: Paddr, now: u64) -> u64 {
+        self.access(Port::Data, paddr, now)
+    }
+
+    /// Convenience: an instruction-port access.
+    pub fn access_inst(&mut self, paddr: Paddr, now: u64) -> u64 {
+        self.access(Port::Inst, paddr, now)
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            l1i: self.l1i.stats(),
+            l1d: self.l1d.stats(),
+            l2: self.l2.stats(),
+            mem_accesses: self.mem_accesses,
+            mshr_merges: self.mshr_merges,
+            mshr_stalls: self.mshr_stalls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// With the paper's constants: L2-hit extra = miss_detect(1) +
+    /// l2_latency(6) + l1l2 bus(2) = 9, so load-use = 3 + 9 = 12 — the
+    /// paper's "best load-use latency is 12 cycles".
+    #[test]
+    fn l2_hit_extra_matches_paper() {
+        let mut m = MemorySystem::paper_baseline();
+        // Warm the line into L2 but not L1I, by touching through the other
+        // port... simplest: cold-miss it through Data (fills both), then
+        // evict nothing and access a *different* L1 line in the same 64 B
+        // L2 line.
+        let base = 0x10_0000;
+        let _ = m.access_data(base, 0); // cold: memory
+        // base+32 is a different 32 B L1 line but the same 64 B L2 line.
+        let extra = m.access_data(base + 32, 10_000);
+        assert_eq!(extra, 9, "L2 hit should cost 9 extra cycles");
+    }
+
+    /// Cold-miss extra = 1 + 6 + 1 + 80 + 11 + 2 = 101, so load-use =
+    /// 3 + 101 = 104 — the paper's "best load-use latency is 104 cycles".
+    #[test]
+    fn memory_extra_matches_paper() {
+        let mut m = MemorySystem::paper_baseline();
+        let extra = m.access_data(0x20_0000, 0);
+        assert_eq!(extra, 101, "cold miss should cost 101 extra cycles");
+    }
+
+    #[test]
+    fn l1_hit_is_free() {
+        let mut m = MemorySystem::paper_baseline();
+        let d = m.access_data(0x40, 0);
+        let hit = m.access_data(0x48, d); // same 32 B line, after fill
+        assert_eq!(hit, 0);
+    }
+
+    #[test]
+    fn secondary_miss_merges_into_inflight_fill() {
+        let mut m = MemorySystem::paper_baseline();
+        let extra = m.access_data(0x40, 0);
+        assert!(extra > 0);
+        // Second access to the same line while the fill is in flight waits
+        // only for the remaining time.
+        let merged = m.access_data(0x50, 10);
+        assert_eq!(merged, extra - 10);
+        assert_eq!(m.stats().mshr_merges, 1);
+    }
+
+    #[test]
+    fn inst_and_data_ports_have_separate_l1s() {
+        let mut m = MemorySystem::paper_baseline();
+        let d = m.access_data(0x80, 0);
+        assert!(d > 0);
+        // Same address through the I-port misses L1I but hits L2.
+        let i = m.access_inst(0x80, 10_000);
+        assert_eq!(i, 9, "L1I miss should hit in the unified L2");
+    }
+
+    #[test]
+    fn bus_contention_serializes_transfers() {
+        let mut m = MemorySystem::paper_baseline();
+        // Two simultaneous cold misses to different L2 lines: the second
+        // must wait for the L2/memory bus.
+        let a = m.access_data(0x100_000, 0);
+        let b = m.access_data(0x200_000, 0);
+        assert!(b > a, "second miss should see bus occupancy ({a} vs {b})");
+    }
+
+    #[test]
+    fn mshr_limit_delays_new_primary_misses() {
+        let mut cfg = MemConfig::paper_baseline();
+        cfg.max_outstanding = 1;
+        let mut m = MemorySystem::new(cfg);
+        let a = m.access_data(0x100_000, 0);
+        let b = m.access_data(0x200_000, 0);
+        assert!(b >= a, "second miss must wait for the only MSHR");
+        assert_eq!(m.stats().mshr_stalls, 1);
+    }
+
+    #[test]
+    fn wrong_path_style_accesses_pollute() {
+        // The pollution mechanism the paper describes for gcc: speculative
+        // accesses displace useful lines because they use the same tags.
+        let geometry = CacheGeometry { size: 64, assoc: 1, line: 32 };
+        let mut cfg = MemConfig::paper_baseline();
+        cfg.l1d = geometry;
+        let mut m = MemorySystem::new(cfg);
+        let _ = m.access_data(0x0, 0); // useful line, set 0
+        let _ = m.access_data(0x40, 0); // "wrong path" access, same set
+        let again = m.access_data(0x0, 10_000);
+        assert!(again > 0, "useful line must have been displaced");
+    }
+}

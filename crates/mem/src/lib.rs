@@ -1,0 +1,54 @@
+//! # smtx-mem — memory-system models for the smtx simulator
+//!
+//! Everything below the pipeline: sparse physical memory, linear page tables
+//! and address spaces, the fully-associative data TLB, and the timing model
+//! of the cache hierarchy (L1I/L1D/L2, inter-level buses with occupancy, MSHR
+//! merging, main memory) configured after Table 1 of *"The Use of
+//! Multithreading for Exception Handling"* (MICRO-32, 1999).
+//!
+//! The hierarchy is a *timing* model: data always lives in [`PhysMem`], and
+//! [`MemorySystem::access`] answers "how many extra cycles beyond the
+//! load-port latency does this access take?", updating tag and bus state as
+//! a side effect.
+//!
+//! # Example
+//!
+//! ```
+//! use smtx_mem::{AddressSpace, MemorySystem, PhysAlloc, PhysMem, PAGE_SIZE};
+//!
+//! let mut pm = PhysMem::new();
+//! let mut alloc = PhysAlloc::new();
+//! let mut space = AddressSpace::new(1, &mut pm, &mut alloc);
+//! let frame = alloc.alloc_page();
+//! space.map(&mut pm, 0x2000_0000, frame);
+//! space.write_u64(&mut pm, 0x2000_0008, 42)?;
+//! assert_eq!(space.read_u64(&pm, 0x2000_0008)?, 42);
+//!
+//! let mut mem = MemorySystem::paper_baseline();
+//! let cold = mem.access_data(frame + 8, 0);   // cold miss: goes to memory
+//! let warm = mem.access_data(frame + 8, cold); // now an L1 hit
+//! assert!(cold > 0 && warm == 0);
+//! # Ok::<(), smtx_mem::VmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+mod paging;
+mod phys;
+mod tlb;
+
+pub use cache::{Cache, CacheGeometry};
+pub use hierarchy::{MemConfig, MemStats, MemorySystem, Port};
+pub use paging::{AddressSpace, Pte, VmError, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
+pub use phys::{PhysAlloc, PhysMem};
+pub use tlb::{Tlb, TlbEntry, TlbStats};
+
+/// A physical address.
+pub type Paddr = u64;
+/// A virtual address.
+pub type Vaddr = u64;
+/// An address-space identifier.
+pub type Asid = u16;

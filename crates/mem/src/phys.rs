@@ -1,0 +1,236 @@
+//! Sparse physical memory and a bump frame allocator.
+
+use std::collections::HashMap;
+
+use crate::{Paddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
+
+/// Simulated physical memory, allocated lazily one page frame at a time.
+///
+/// Reads of never-written memory return zero, which keeps simulations
+/// deterministic without pre-allocating the whole physical address space.
+///
+/// ```
+/// use smtx_mem::PhysMem;
+/// let mut pm = PhysMem::new();
+/// assert_eq!(pm.read_u64(0x1000), 0);
+/// pm.write_u64(0x1000, 0xfeed);
+/// assert_eq!(pm.read_u64(0x1000), 0xfeed);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhysMem {
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl PhysMem {
+    /// Creates empty physical memory.
+    #[must_use]
+    pub fn new() -> PhysMem {
+        PhysMem::default()
+    }
+
+    fn page(&self, pa: Paddr) -> Option<&[u8]> {
+        self.pages.get(&(pa >> PAGE_SHIFT)).map(|p| &p[..])
+    }
+
+    fn page_mut(&mut self, pa: Paddr) -> &mut [u8] {
+        self.pages
+            .entry(pa >> PAGE_SHIFT)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads an aligned 64-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 8-byte aligned.
+    #[must_use]
+    pub fn read_u64(&self, pa: Paddr) -> u64 {
+        assert_eq!(pa % 8, 0, "unaligned 64-bit physical read at {pa:#x}");
+        match self.page(pa) {
+            Some(page) => {
+                let off = (pa & PAGE_MASK) as usize;
+                u64::from_le_bytes(page[off..off + 8].try_into().expect("8 bytes"))
+            }
+            None => 0,
+        }
+    }
+
+    /// Writes an aligned 64-bit word, allocating the frame if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 8-byte aligned.
+    pub fn write_u64(&mut self, pa: Paddr, value: u64) {
+        assert_eq!(pa % 8, 0, "unaligned 64-bit physical write at {pa:#x}");
+        let off = (pa & PAGE_MASK) as usize;
+        self.page_mut(pa)[off..off + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads an aligned 32-bit word (used for instruction fetch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 4-byte aligned.
+    #[must_use]
+    pub fn read_u32(&self, pa: Paddr) -> u32 {
+        assert_eq!(pa % 4, 0, "unaligned 32-bit physical read at {pa:#x}");
+        match self.page(pa) {
+            Some(page) => {
+                let off = (pa & PAGE_MASK) as usize;
+                u32::from_le_bytes(page[off..off + 4].try_into().expect("4 bytes"))
+            }
+            None => 0,
+        }
+    }
+
+    /// Writes an aligned 32-bit word, allocating the frame if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 4-byte aligned.
+    pub fn write_u32(&mut self, pa: Paddr, value: u32) {
+        assert_eq!(pa % 4, 0, "unaligned 32-bit physical write at {pa:#x}");
+        let off = (pa & PAGE_MASK) as usize;
+        self.page_mut(pa)[off..off + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Number of frames that have been touched by writes.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// A deterministic FNV-1a hash of all resident frames (frame number and
+    /// contents), usable to compare memory images in differential tests.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut frames: Vec<u64> = self.pages.keys().copied().collect();
+        frames.sort_unstable();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for frame in frames {
+            for byte in frame.to_le_bytes() {
+                mix(byte);
+            }
+            for &byte in self.pages[&frame].iter() {
+                mix(byte);
+            }
+        }
+        hash
+    }
+}
+
+/// A bump allocator for physical page frames.
+///
+/// Frame 0 is never handed out so that physical address 0 stays unmapped
+/// (it doubles as a trap for null-pointer bugs in workloads).
+#[derive(Debug, Clone)]
+pub struct PhysAlloc {
+    next_frame: u64,
+}
+
+impl Default for PhysAlloc {
+    fn default() -> Self {
+        PhysAlloc::new()
+    }
+}
+
+impl PhysAlloc {
+    /// Creates an allocator whose first frame is frame 1.
+    #[must_use]
+    pub fn new() -> PhysAlloc {
+        PhysAlloc { next_frame: 1 }
+    }
+
+    /// Allocates one page frame and returns its base physical address.
+    pub fn alloc_page(&mut self) -> Paddr {
+        self.alloc_pages(1)
+    }
+
+    /// Allocates `n` physically contiguous frames and returns the base
+    /// address of the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn alloc_pages(&mut self, n: u64) -> Paddr {
+        assert!(n > 0, "cannot allocate zero pages");
+        let base = self.next_frame << PAGE_SHIFT;
+        self.next_frame += n;
+        base
+    }
+
+    /// Total frames allocated so far.
+    #[must_use]
+    pub fn allocated(&self) -> u64 {
+        self.next_frame - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let pm = PhysMem::new();
+        assert_eq!(pm.read_u64(0), 0);
+        assert_eq!(pm.read_u64(0xdead_b000), 0);
+        assert_eq!(pm.read_u32(0x44), 0);
+        assert_eq!(pm.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut pm = PhysMem::new();
+        pm.write_u64(0x2000, u64::MAX);
+        pm.write_u64(0x2008, 7);
+        pm.write_u32(0x2010, 0xdead_beef);
+        assert_eq!(pm.read_u64(0x2000), u64::MAX);
+        assert_eq!(pm.read_u64(0x2008), 7);
+        assert_eq!(pm.read_u32(0x2010), 0xdead_beef);
+        assert_eq!(pm.resident_pages(), 1);
+    }
+
+    #[test]
+    fn words_straddle_page_interior_not_boundaries() {
+        let mut pm = PhysMem::new();
+        // Last aligned word of a frame.
+        pm.write_u64(PAGE_SIZE - 8, 0x0102_0304_0506_0708);
+        assert_eq!(pm.read_u64(PAGE_SIZE - 8), 0x0102_0304_0506_0708);
+        // First word of the next frame is independent.
+        assert_eq!(pm.read_u64(PAGE_SIZE), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_read_panics() {
+        let _ = PhysMem::new().read_u64(3);
+    }
+
+    #[test]
+    fn content_hash_tracks_content() {
+        let mut a = PhysMem::new();
+        let mut b = PhysMem::new();
+        a.write_u64(0x4000, 1);
+        b.write_u64(0x4000, 1);
+        assert_eq!(a.content_hash(), b.content_hash());
+        b.write_u64(0x4008, 9);
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn allocator_is_monotonic_and_skips_frame_zero() {
+        let mut alloc = PhysAlloc::new();
+        let first = alloc.alloc_page();
+        assert_eq!(first, PAGE_SIZE);
+        let run = alloc.alloc_pages(3);
+        assert_eq!(run, 2 * PAGE_SIZE);
+        let after = alloc.alloc_page();
+        assert_eq!(after, 5 * PAGE_SIZE);
+        assert_eq!(alloc.allocated(), 5);
+    }
+}

@@ -1,0 +1,786 @@
+//! The eight synthetic benchmark kernels.
+//!
+//! Stand-ins for the paper's Alpha binaries (Table 2): each kernel is
+//! shaped to its benchmark's published TLB-miss density and instruction-
+//! level-parallelism character — streaming FP solvers, pointer-chasing
+//! object code, hash-probing symbolic tools, and branchy compiler-like
+//! code. Since the paper's metric is *penalty cycles per TLB miss*
+//! (normalized by miss count), what matters is the miss density and the
+//! parallelism around each miss, both of which these kernels control
+//! directly; see DESIGN.md for the substitution argument.
+//!
+//! All kernels are deterministic given their seed: in-program randomness
+//! comes from an LCG carried in registers, and data-structure layout from
+//! a seeded host RNG, so the cycle machine and the reference interpreter
+//! see bit-identical worlds.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use smtx_isa::{FReg, Program, ProgramBuilder, Reg};
+use smtx_mem::{AddressSpace, PhysAlloc, PhysMem, PAGE_SIZE};
+
+/// The benchmark suite of paper Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// X-windows first-person shooter (mixed int/FP, hot working set).
+    Alphadoom,
+    /// Parabolic/elliptic PDE solver (SpecFP, streaming FP).
+    Applu,
+    /// Adaptive Lempel-Ziv text compression (SpecInt, hash tables).
+    Compress,
+    /// Incremental dataflow constraint solver (OO pointer chasing).
+    Deltablue,
+    /// GNU optimizing C compiler (branchy, wrong-path pollution).
+    Gcc,
+    /// Astrophysics Navier-Stokes solver (SpecFP, long FP chains).
+    Hydro2d,
+    /// Finite-state-space exploration for verification (hash probing).
+    Murphi,
+    /// Object-oriented transactional database (parallel pointer chasing).
+    Vortex,
+}
+
+impl Kernel {
+    /// All kernels, in the paper's presentation order.
+    pub const ALL: [Kernel; 8] = [
+        Kernel::Alphadoom,
+        Kernel::Applu,
+        Kernel::Compress,
+        Kernel::Deltablue,
+        Kernel::Gcc,
+        Kernel::Hydro2d,
+        Kernel::Murphi,
+        Kernel::Vortex,
+    ];
+
+    /// Full benchmark name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Alphadoom => "alphadoom",
+            Kernel::Applu => "applu",
+            Kernel::Compress => "compress",
+            Kernel::Deltablue => "deltablue",
+            Kernel::Gcc => "gcc",
+            Kernel::Hydro2d => "hydro2d",
+            Kernel::Murphi => "murphi",
+            Kernel::Vortex => "vortex",
+        }
+    }
+
+    /// The paper's three-letter tag (Table 2).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Kernel::Alphadoom => "adm",
+            Kernel::Applu => "apl",
+            Kernel::Compress => "cmp",
+            Kernel::Deltablue => "dbl",
+            Kernel::Gcc => "gcc",
+            Kernel::Hydro2d => "h2d",
+            Kernel::Murphi => "mph",
+            Kernel::Vortex => "vor",
+        }
+    }
+
+    /// TLB misses per 100M instructions the paper reports (Table 2).
+    #[must_use]
+    pub fn paper_misses_per_100m(self) -> u64 {
+        match self {
+            Kernel::Alphadoom => 11_000,
+            Kernel::Applu => 16_000,
+            Kernel::Compress => 230_000,
+            Kernel::Deltablue => 16_000,
+            Kernel::Gcc => 14_000,
+            Kernel::Hydro2d => 23_000,
+            Kernel::Murphi => 36_000,
+            Kernel::Vortex => 86_000,
+        }
+    }
+
+    /// Base IPC the paper reports (Table 4).
+    #[must_use]
+    pub fn paper_base_ipc(self) -> f64 {
+        match self {
+            Kernel::Alphadoom => 4.3,
+            Kernel::Applu => 2.6,
+            Kernel::Compress => 2.6,
+            Kernel::Deltablue => 2.2,
+            Kernel::Gcc => 2.8,
+            Kernel::Hydro2d => 1.3,
+            Kernel::Murphi => 3.9,
+            Kernel::Vortex => 4.9,
+        }
+    }
+
+    /// Builds the kernel's program.
+    #[must_use]
+    pub fn program(self, seed: u64) -> Program {
+        match self {
+            Kernel::Alphadoom => alphadoom_program(seed),
+            Kernel::Applu => applu_program(seed),
+            Kernel::Compress => compress_program(seed),
+            Kernel::Deltablue => deltablue_program(seed),
+            Kernel::Gcc => gcc_program(seed),
+            Kernel::Hydro2d => hydro2d_program(seed),
+            Kernel::Murphi => murphi_program(seed),
+            Kernel::Vortex => vortex_program(seed),
+        }
+    }
+
+    /// Maps and initializes the kernel's data regions.
+    pub fn setup(
+        self,
+        seed: u64,
+        space: &mut AddressSpace,
+        pm: &mut PhysMem,
+        alloc: &mut PhysAlloc,
+    ) {
+        match self {
+            Kernel::Alphadoom => alphadoom_setup(seed, space, pm, alloc),
+            Kernel::Applu => applu_setup(seed, space, pm, alloc),
+            Kernel::Compress => compress_setup(seed, space, pm, alloc),
+            Kernel::Deltablue => deltablue_setup(seed, space, pm, alloc),
+            Kernel::Gcc => gcc_setup(seed, space, pm, alloc),
+            Kernel::Hydro2d => hydro2d_setup(seed, space, pm, alloc),
+            Kernel::Murphi => murphi_setup(seed, space, pm, alloc),
+            Kernel::Vortex => vortex_setup(seed, space, pm, alloc),
+        }
+    }
+}
+
+// ---- register conventions ----
+const LCG: Reg = Reg(8); //       in-program PRNG state
+const LCG_MUL: Reg = Reg(27);
+const LCG_ADD: Reg = Reg(28);
+const OUTER: Reg = Reg(29); //    outer iteration counter
+const T1: Reg = Reg(1);
+const T2: Reg = Reg(2);
+const T3: Reg = Reg(3);
+const T4: Reg = Reg(4);
+const T5: Reg = Reg(5);
+const T6: Reg = Reg(6);
+const T7: Reg = Reg(7);
+
+const LCG_MUL_V: u64 = 6_364_136_223_846_793_005;
+const LCG_ADD_V: u64 = 1_442_695_040_888_963_407;
+
+/// Default iteration budget: effectively "run forever"; experiment runs
+/// stop threads with a retirement budget instead.
+const ITERS: u64 = 1 << 40;
+
+fn prologue(b: &mut ProgramBuilder, seed: u64) {
+    b.li(LCG_MUL, LCG_MUL_V);
+    b.li(LCG_ADD, LCG_ADD_V);
+    b.li(LCG, seed.wrapping_mul(2) | 1);
+    b.li(OUTER, ITERS);
+}
+
+fn emit_lcg(b: &mut ProgramBuilder) {
+    b.mul(LCG, LCG, LCG_MUL);
+    b.add(LCG, LCG, LCG_ADD);
+}
+
+/// dest = region_base + random page (of `pages`, a power of two) + random
+/// aligned in-page offset. Clobbers T7.
+fn emit_rand_addr(b: &mut ProgramBuilder, dest: Reg, base: Reg, pages: u64) {
+    assert!(pages.is_power_of_two() && pages <= 4096);
+    b.srli(dest, LCG, 33);
+    b.andi(dest, dest, (pages - 1) as i32);
+    b.slli(dest, dest, 13);
+    b.add(dest, dest, base);
+    // In-page offset stays within the first cache line: the TLB pressure
+    // is what these probes model; page-sized data footprints would bury
+    // the handler's PTE load under cache misses the paper's small-data
+    // benchmarks never saw (see DESIGN.md).
+    b.srli(T7, LCG, 17);
+    b.andi(T7, T7, 0x38);
+    b.add(dest, dest, T7);
+}
+
+fn end_outer(b: &mut ProgramBuilder, loop_label: &str) {
+    b.addi(OUTER, OUTER, -1);
+    b.bne(OUTER, loop_label);
+    b.halt();
+}
+
+fn map_and_fill(
+    space: &mut AddressSpace,
+    pm: &mut PhysMem,
+    alloc: &mut PhysAlloc,
+    base: u64,
+    pages: u64,
+    rng: &mut StdRng,
+) {
+    space.map_region(pm, alloc, base, pages);
+    // Seed every page with a little deterministic data (full-page writes
+    // would dominate setup time without changing behaviour).
+    for p in 0..pages {
+        for off in (0..PAGE_SIZE).step_by(512) {
+            space
+                .write_u64(pm, base + p * PAGE_SIZE + off, rng.random::<u64>() >> 8)
+                .expect("just mapped");
+        }
+    }
+}
+
+// ================================================================
+// compress — adaptive LZ: sequential input, hot dictionary, cold
+// hash-table probes (highest miss density in the suite).
+// ================================================================
+
+const CMP_IN: u64 = 0x2000_0000; //   64 pages, sequential
+const CMP_DICT: u64 = 0x2100_0000; // 16 pages, hot
+const CMP_HT: u64 = 0x2200_0000; //   512 pages, cold probes
+const CMP_IN_PAGES: u64 = 64;
+const CMP_DICT_PAGES: u64 = 16;
+const CMP_HT_PAGES: u64 = 512;
+
+fn compress_program(seed: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    prologue(&mut b, seed);
+    b.li(Reg(10), CMP_IN);
+    b.li(Reg(11), CMP_DICT);
+    b.li(Reg(12), CMP_HT);
+    b.li(Reg(25), CMP_IN_PAGES * PAGE_SIZE - 8); // input offset mask
+    b.li(Reg(13), 0); // input offset
+    b.li(Reg(14), 0); // checksum
+    b.li(Reg(15), 0); // iteration count (for the 1-in-16 cold probe)
+    b.label("loop");
+    // Read the next input word (sequential, wrapping).
+    b.add(T1, Reg(10), Reg(13));
+    b.ldq(T2, T1, 0);
+    b.addi(Reg(13), Reg(13), 8);
+    b.and(Reg(13), Reg(13), Reg(25));
+    // Hash = mix(input, lcg).
+    emit_lcg(&mut b);
+    b.xor(T3, T2, LCG);
+    b.srli(T4, T3, 7);
+    b.xor(T3, T3, T4);
+    // Hot dictionary probe.
+    emit_rand_addr(&mut b, T5, Reg(11), CMP_DICT_PAGES);
+    b.ldq(T6, T5, 0);
+    b.add(Reg(14), Reg(14), T6);
+    // Unpredictable "match" branch (like LZ match/no-match).
+    b.andi(T4, T3, 1);
+    b.beq(T4, "no_match");
+    b.add(Reg(14), Reg(14), T3);
+    b.xor(Reg(14), Reg(14), T2);
+    b.label("no_match");
+    // Every 16th symbol: probe + update the big hash table (cold).
+    b.addi(Reg(15), Reg(15), 1);
+    b.andi(T4, Reg(15), 15);
+    b.bne(T4, "skip_ht");
+    emit_rand_addr(&mut b, T5, Reg(12), CMP_HT_PAGES);
+    b.ldq(T6, T5, 0);
+    b.add(Reg(14), Reg(14), T6);
+    b.stq(Reg(14), T5, 0);
+    b.label("skip_ht");
+    end_outer(&mut b, "loop");
+    b.build().expect("compress assembles")
+}
+
+fn compress_setup(seed: u64, space: &mut AddressSpace, pm: &mut PhysMem, alloc: &mut PhysAlloc) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0117e55);
+    map_and_fill(space, pm, alloc, CMP_IN, CMP_IN_PAGES, &mut rng);
+    map_and_fill(space, pm, alloc, CMP_DICT, CMP_DICT_PAGES, &mut rng);
+    map_and_fill(space, pm, alloc, CMP_HT, CMP_HT_PAGES, &mut rng);
+}
+
+// ================================================================
+// vortex — OO database: four independent pointer chains over a large
+// object pool (high ILP, second-highest miss density).
+// ================================================================
+
+const VOR_OBJ: u64 = 0x3000_0000;
+/// Each of the four chains owns a disjoint 32-page quarter of the pool —
+/// 128 pages total, twice what the 64-entry DTLB maps, while the ~1 MB
+/// object pool stays L2-resident (paper benchmarks had small data sets).
+const VOR_PAGES_PER_CHAIN: u64 = 32;
+const VOR_CHAINS: u64 = 4;
+const VOR_SLOTS: u64 = PAGE_SIZE / 64; // 64-byte objects
+/// Objects visited per page visit (a full page walk per visit).
+const VOR_VISIT: u64 = VOR_SLOTS;
+/// Laps over the page permutation (each lap uses a disjoint slot range).
+const VOR_LAPS: u64 = 1;
+
+fn vortex_program(seed: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    prologue(&mut b, seed);
+    // Four chain cursors start at their quarters' heads (the setup makes
+    // the first node of each quarter the chain head).
+    for (i, reg) in [Reg(10), Reg(11), Reg(12), Reg(13)].iter().enumerate() {
+        b.li(*reg, vortex_head(i as u64));
+    }
+    b.li(Reg(14), 0);
+    b.li(Reg(15), 0);
+    b.li(Reg(16), 0);
+    b.li(Reg(17), 0);
+    b.label("loop");
+    for (cursor, acc) in [
+        (Reg(10), Reg(14)),
+        (Reg(11), Reg(15)),
+        (Reg(12), Reg(16)),
+        (Reg(13), Reg(17)),
+    ] {
+        b.ldq(T1, cursor, 8); //  field 1
+        b.ldq(T2, cursor, 16); // field 2
+        b.add(acc, acc, T1);
+        b.xor(acc, acc, T2);
+        // "Method work" on the fields (independent across the four
+        // chains, so ILP stays high — vortex's base IPC is 4.9).
+        b.srli(T3, T1, 7);
+        b.add(acc, acc, T3);
+        b.srli(T4, T2, 3);
+        b.xor(acc, acc, T4);
+        b.ldq(cursor, cursor, 0); // follow next
+    }
+    end_outer(&mut b, "loop");
+    b.build().expect("vortex assembles")
+}
+
+/// Virtual address of chain `c`'s head node.
+fn vortex_head(c: u64) -> u64 {
+    VOR_OBJ + c * VOR_PAGES_PER_CHAIN * PAGE_SIZE
+}
+
+fn vortex_setup(seed: u64, space: &mut AddressSpace, pm: &mut PhysMem, alloc: &mut PhysAlloc) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1207_7e);
+    space.map_region(pm, alloc, VOR_OBJ, VOR_CHAINS * VOR_PAGES_PER_CHAIN);
+    // Four cyclic chains, one per page quarter. Each chain walks every
+    // object of a page (long intra-page run), then hops to the next page
+    // of a random permutation — every node is written exactly once, so
+    // the cycle is exact and revisits cannot corrupt links.
+    for chain in 0..VOR_CHAINS {
+        let quarter = vortex_head(chain);
+        // Laps over independent page permutations; each lap uses its own
+        // slot range, so every node is written exactly once and the cycle
+        // is exact.
+        let mut visits: Vec<(u64, u64)> = Vec::new(); // (page, base slot)
+        for lap in 0..VOR_LAPS {
+            let mut pages: Vec<u64> = (0..VOR_PAGES_PER_CHAIN).collect();
+            for i in (1..pages.len()).rev() {
+                pages.swap(i, rng.random_range(0..=i));
+            }
+            if lap == 0 {
+                // The head must be the quarter's first byte (program `li`).
+                let first = pages.iter().position(|&p| p == 0).expect("page 0");
+                pages.swap(0, first);
+            }
+            visits.extend(pages.into_iter().map(|p| (p, lap * VOR_VISIT)));
+        }
+        let node = |page: u64, slot: u64| quarter + page * PAGE_SIZE + slot * 64;
+        let head = node(visits[0].0, visits[0].1);
+        let mut cur = head;
+        for (vi, &(page, base_slot)) in visits.iter().enumerate() {
+            for s_off in 0..VOR_VISIT {
+                let slot = base_slot + s_off;
+                if vi != 0 || s_off != 0 {
+                    space.write_u64(pm, cur, node(page, slot)).expect("mapped");
+                    cur = node(page, slot);
+                }
+                space.write_u64(pm, cur + 8, rng.random::<u64>() >> 8).expect("mapped");
+                space.write_u64(pm, cur + 16, rng.random::<u64>() >> 8).expect("mapped");
+            }
+        }
+        space.write_u64(pm, cur, head).expect("mapped"); // close the cycle
+    }
+}
+
+// ================================================================
+// deltablue — constraint solver: one serial pointer chain with dependent
+// arithmetic per node (low ILP).
+// ================================================================
+
+const DBL_NODES: u64 = 0x3800_0000;
+const DBL_PAGES: u64 = 128;
+const DBL_SLOTS: u64 = PAGE_SIZE / 32; // 32-byte nodes
+
+fn deltablue_program(seed: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    prologue(&mut b, seed);
+    b.li(Reg(10), DBL_NODES);
+    b.li(Reg(14), 0);
+    b.label("loop");
+    b.ldq(T1, Reg(10), 8); //  node strength
+    b.ldq(T2, Reg(10), 16); // node value
+    // Serial "propagate constraint" chain: deliberately long and
+    // dependent (deltablue's base IPC is only 2.2, and its miss density
+    // is set by instructions-per-page-visit).
+    b.add(Reg(14), Reg(14), T1);
+    b.xor(Reg(14), Reg(14), T2);
+    b.srli(T3, Reg(14), 3);
+    b.add(Reg(14), Reg(14), T3);
+    b.slli(T4, Reg(14), 1);
+    b.xor(Reg(14), Reg(14), T4);
+    b.srli(T3, Reg(14), 5);
+    b.add(Reg(14), Reg(14), T3);
+    b.slli(T4, Reg(14), 2);
+    b.xor(Reg(14), Reg(14), T4);
+    b.srli(T3, Reg(14), 9);
+    b.add(Reg(14), Reg(14), T3);
+    b.slli(T4, Reg(14), 3);
+    b.xor(Reg(14), Reg(14), T4);
+    b.srli(T3, Reg(14), 11);
+    b.add(Reg(14), Reg(14), T3);
+    b.slli(T4, Reg(14), 1);
+    b.xor(Reg(14), Reg(14), T4);
+    b.ldq(Reg(10), Reg(10), 0); // follow next
+    end_outer(&mut b, "loop");
+    b.build().expect("deltablue assembles")
+}
+
+fn deltablue_setup(seed: u64, space: &mut AddressSpace, pm: &mut PhysMem, alloc: &mut PhysAlloc) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdb1);
+    space.map_region(pm, alloc, DBL_NODES, DBL_PAGES);
+    // One cyclic chain: all 256 nodes of a page in sequence, then hop to
+    // the next page of a random permutation (every node written once).
+    let mut pages: Vec<u64> = (0..DBL_PAGES).collect();
+    for i in (1..pages.len()).rev() {
+        pages.swap(i, rng.random_range(0..=i));
+    }
+    let first = pages.iter().position(|&p| p == 0).expect("page 0 present");
+    pages.swap(0, first); // head = DBL_NODES (the program's `li`)
+    let node = |page: u64, slot: u64| DBL_NODES + page * PAGE_SIZE + slot * 32;
+    let head = node(pages[0], 0);
+    let mut cur = head;
+    for (pi, &page) in pages.iter().enumerate() {
+        for slot in 0..DBL_SLOTS {
+            if pi != 0 || slot != 0 {
+                space.write_u64(pm, cur, node(page, slot)).expect("mapped");
+                cur = node(page, slot);
+            }
+            space.write_u64(pm, cur + 8, rng.random::<u64>() >> 8).expect("mapped");
+            space.write_u64(pm, cur + 16, rng.random::<u64>() >> 8).expect("mapped");
+        }
+    }
+    space.write_u64(pm, cur, head).expect("mapped");
+}
+
+// ================================================================
+// gcc — compiler: sequential token stream, unpredictable branches, cold
+// symbol-table probes placed *inside* branch arms (wrong-path pollution,
+// paper §5.3).
+// ================================================================
+
+const GCC_TOK: u64 = 0x4000_0000;
+const GCC_SYM: u64 = 0x4100_0000;
+const GCC_TOK_PAGES: u64 = 32;
+const GCC_SYM_PAGES: u64 = 128;
+
+fn gcc_program(seed: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    prologue(&mut b, seed);
+    b.li(Reg(10), GCC_TOK);
+    b.li(Reg(11), GCC_SYM);
+    b.li(Reg(25), GCC_TOK_PAGES * PAGE_SIZE - 8);
+    b.li(Reg(13), 0); // token offset
+    b.li(Reg(14), 0); // "IR" accumulator
+    b.li(Reg(15), 0); // iteration counter
+    b.label("loop");
+    b.add(T1, Reg(10), Reg(13));
+    b.ldq(T2, T1, 0); // token
+    b.addi(Reg(13), Reg(13), 8);
+    b.and(Reg(13), Reg(13), Reg(25));
+    emit_lcg(&mut b);
+    // Unpredictable two-level "parse" decision tree.
+    b.xor(T3, T2, LCG);
+    b.andi(T4, T3, 1);
+    b.beq(T4, "else_arm");
+    // then-arm: touch the symbol table occasionally (these loads run on
+    // the wrong path whenever the branch mispredicts).
+    b.addi(Reg(14), Reg(14), 3);
+    b.andi(T5, Reg(15), 255);
+    b.bne(T5, "join");
+    emit_rand_addr(&mut b, T6, Reg(11), GCC_SYM_PAGES);
+    b.ldq(T5, T6, 0);
+    b.add(Reg(14), Reg(14), T5);
+    b.br("join");
+    b.label("else_arm");
+    b.srli(T5, T3, 1);
+    b.andi(T5, T5, 1);
+    b.beq(T5, "leaf");
+    b.xor(Reg(14), Reg(14), T2);
+    b.label("leaf");
+    b.addi(Reg(14), Reg(14), 1);
+    b.label("join");
+    b.addi(Reg(15), Reg(15), 1);
+    end_outer(&mut b, "loop");
+    b.build().expect("gcc assembles")
+}
+
+fn gcc_setup(seed: u64, space: &mut AddressSpace, pm: &mut PhysMem, alloc: &mut PhysAlloc) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6cc);
+    map_and_fill(space, pm, alloc, GCC_TOK, GCC_TOK_PAGES, &mut rng);
+    map_and_fill(space, pm, alloc, GCC_SYM, GCC_SYM_PAGES, &mut rng);
+}
+
+// ================================================================
+// hydro2d — Navier-Stokes: strided sweep over a grid with a serial
+// FP-divide chain (lowest IPC in the suite).
+// ================================================================
+
+const H2D_GRID: u64 = 0x4800_0000;
+const H2D_PAGES: u64 = 256;
+
+fn hydro2d_program(seed: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    prologue(&mut b, seed);
+    b.li(Reg(10), H2D_GRID);
+    b.li(Reg(25), H2D_PAGES * PAGE_SIZE - 8);
+    b.li(Reg(13), 0); // offset
+    // Two alternating accumulators keep one fdiv chain in flight each.
+    b.li(T1, 3);
+    b.itof(FReg(6), T1);
+    b.itof(FReg(7), T1);
+    b.label("loop");
+    b.add(T1, Reg(10), Reg(13));
+    b.fldq(FReg(1), T1, 0);
+    b.fldq(FReg(2), T1, 8);
+    b.fldq(FReg(3), T1, 16);
+    b.fadd(FReg(4), FReg(1), FReg(2));
+    b.fdiv(FReg(5), FReg(4), FReg(3));
+    b.fadd(FReg(6), FReg(6), FReg(5));
+    b.fmul(FReg(7), FReg(7), FReg(5));
+    b.fstq(FReg(6), T1, 0);
+    b.addi(Reg(13), Reg(13), 24);
+    b.and(Reg(13), Reg(13), Reg(25));
+    end_outer(&mut b, "loop");
+    b.build().expect("hydro2d assembles")
+}
+
+fn hydro2d_setup(seed: u64, space: &mut AddressSpace, pm: &mut PhysMem, alloc: &mut PhysAlloc) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x42d);
+    space.map_region(pm, alloc, H2D_GRID, H2D_PAGES);
+    for p in 0..H2D_PAGES {
+        for off in (0..PAGE_SIZE).step_by(256) {
+            let v: f64 = 1.0 + rng.random::<f64>();
+            space
+                .write_u64(pm, H2D_GRID + p * PAGE_SIZE + off, v.to_bits())
+                .expect("mapped");
+        }
+    }
+}
+
+// ================================================================
+// applu — PDE solver: two independent streams multiplied into rotating
+// accumulators (parallel FP, mid IPC).
+// ================================================================
+
+const APL_A: u64 = 0x5000_0000;
+const APL_B: u64 = 0x5100_0000;
+const APL_PAGES: u64 = 128;
+
+fn applu_program(seed: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    prologue(&mut b, seed);
+    b.li(Reg(10), APL_A);
+    // Stagger stream B by half a page so the two streams never cross a
+    // page boundary in the same iteration (uncorrelated misses, like two
+    // real arrays with different alignments).
+    b.li(Reg(11), APL_B + PAGE_SIZE / 2);
+    b.li(Reg(25), APL_PAGES * PAGE_SIZE - 8);
+    b.li(Reg(13), 0);
+    b.li(T1, 1);
+    b.itof(FReg(5), T1);
+    b.itof(FReg(6), T1);
+    b.itof(FReg(7), T1);
+    b.itof(FReg(8), T1);
+    b.label("loop");
+    b.add(T1, Reg(10), Reg(13));
+    b.add(T2, Reg(11), Reg(13));
+    b.fldq(FReg(1), T1, 0);
+    b.fldq(FReg(2), T2, 0);
+    b.fldq(FReg(3), T1, 8);
+    b.fldq(FReg(4), T2, 8);
+    b.fmul(FReg(1), FReg(1), FReg(2));
+    b.fmul(FReg(3), FReg(3), FReg(4));
+    b.fadd(FReg(5), FReg(5), FReg(1));
+    b.fadd(FReg(6), FReg(6), FReg(3));
+    b.fstq(FReg(5), T1, 0);
+    b.addi(Reg(13), Reg(13), 8);
+    b.and(Reg(13), Reg(13), Reg(25));
+    end_outer(&mut b, "loop");
+    b.build().expect("applu assembles")
+}
+
+fn applu_setup(seed: u64, space: &mut AddressSpace, pm: &mut PhysMem, alloc: &mut PhysAlloc) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa71);
+    for base in [APL_A, APL_B] {
+        space.map_region(pm, alloc, base, APL_PAGES + 1); // +1: stream B is staggered
+
+        for p in 0..APL_PAGES {
+            for off in (0..PAGE_SIZE).step_by(256) {
+                let v: f64 = rng.random::<f64>();
+                space
+                    .write_u64(pm, base + p * PAGE_SIZE + off, v.to_bits())
+                    .expect("mapped");
+            }
+        }
+    }
+}
+
+// ================================================================
+// murphi — state-space exploration: hot queue + hash probes into a large
+// state table, independent integer chains (high IPC).
+// ================================================================
+
+const MPH_Q: u64 = 0x5800_0000;
+const MPH_ST: u64 = 0x5900_0000;
+const MPH_Q_PAGES: u64 = 8;
+const MPH_ST_PAGES: u64 = 256;
+
+fn murphi_program(seed: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    prologue(&mut b, seed);
+    b.li(Reg(10), MPH_Q);
+    b.li(Reg(11), MPH_ST);
+    b.li(Reg(25), MPH_Q_PAGES * PAGE_SIZE - 8);
+    b.li(Reg(13), 0); // queue offset
+    b.li(Reg(14), 0); // acc a
+    b.li(Reg(15), 0); // acc b
+    b.li(Reg(16), 0); // acc c
+    b.li(Reg(17), 0); // iteration
+    b.label("loop");
+    // Pop a state from the hot queue.
+    b.add(T1, Reg(10), Reg(13));
+    b.ldq(T2, T1, 0);
+    b.addi(Reg(13), Reg(13), 8);
+    b.and(Reg(13), Reg(13), Reg(25));
+    emit_lcg(&mut b);
+    // Three independent successor computations.
+    b.xor(Reg(14), Reg(14), T2);
+    b.addi(Reg(14), Reg(14), 11);
+    b.srli(T3, T2, 5);
+    b.add(Reg(15), Reg(15), T3);
+    b.slli(T4, T2, 2);
+    b.xor(Reg(16), Reg(16), T4);
+    b.add(Reg(15), Reg(15), LCG);
+    b.xor(Reg(16), Reg(16), LCG);
+    // Every 128th state: probe the big state table.
+    b.addi(Reg(17), Reg(17), 1);
+    b.andi(T5, Reg(17), 127);
+    b.bne(T5, "skip");
+    emit_rand_addr(&mut b, T6, Reg(11), MPH_ST_PAGES);
+    b.ldq(T3, T6, 0);
+    b.add(Reg(14), Reg(14), T3);
+    b.stq(Reg(14), T6, 0);
+    b.label("skip");
+    end_outer(&mut b, "loop");
+    b.build().expect("murphi assembles")
+}
+
+fn murphi_setup(seed: u64, space: &mut AddressSpace, pm: &mut PhysMem, alloc: &mut PhysAlloc) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x309b);
+    map_and_fill(space, pm, alloc, MPH_Q, MPH_Q_PAGES, &mut rng);
+    map_and_fill(space, pm, alloc, MPH_ST, MPH_ST_PAGES, &mut rng);
+}
+
+// ================================================================
+// alphadoom — game loop: hot framebuffer/entity data, rare texture
+// fetches, mixed int/FP with high ILP (lowest miss density).
+// ================================================================
+
+const ADM_FB: u64 = 0x6000_0000;
+const ADM_ENT: u64 = 0x6100_0000;
+const ADM_TEX: u64 = 0x6200_0000;
+const ADM_FB_PAGES: u64 = 8;
+const ADM_ENT_PAGES: u64 = 4;
+const ADM_TEX_PAGES: u64 = 128;
+
+fn alphadoom_program(seed: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    prologue(&mut b, seed);
+    b.li(Reg(10), ADM_FB);
+    b.li(Reg(11), ADM_ENT);
+    b.li(Reg(12), ADM_TEX);
+    b.li(Reg(24), ADM_FB_PAGES * PAGE_SIZE - 8);
+    b.li(Reg(25), ADM_ENT_PAGES * PAGE_SIZE - 8);
+    b.li(Reg(13), 0); // fb offset
+    b.li(Reg(14), 0); // ent offset
+    b.li(Reg(15), 0); // iteration
+    b.li(Reg(16), 0); // acc
+    b.label("loop");
+    // Entity update (hot, independent int ops).
+    b.add(T1, Reg(11), Reg(14));
+    b.ldq(T2, T1, 0);
+    b.addi(Reg(14), Reg(14), 16);
+    b.and(Reg(14), Reg(14), Reg(25));
+    b.add(Reg(16), Reg(16), T2);
+    b.srli(T3, T2, 9);
+    b.xor(Reg(16), Reg(16), T3);
+    emit_lcg(&mut b);
+    // "Angle" computation in FP.
+    b.itof(FReg(1), T2);
+    b.fmul(FReg(2), FReg(1), FReg(1));
+    b.ftoi(T4, FReg(2));
+    b.add(Reg(16), Reg(16), T4);
+    // Framebuffer write (hot, sequential).
+    b.add(T5, Reg(10), Reg(13));
+    b.stq(Reg(16), T5, 0);
+    b.addi(Reg(13), Reg(13), 8);
+    b.and(Reg(13), Reg(13), Reg(24));
+    // Rare texture fetch (1 in 512 iterations).
+    b.addi(Reg(15), Reg(15), 1);
+    b.andi(T5, Reg(15), 511);
+    b.bne(T5, "skip_tex");
+    emit_rand_addr(&mut b, T6, Reg(12), ADM_TEX_PAGES);
+    b.ldq(T3, T6, 0);
+    b.add(Reg(16), Reg(16), T3);
+    b.label("skip_tex");
+    end_outer(&mut b, "loop");
+    b.build().expect("alphadoom assembles")
+}
+
+fn alphadoom_setup(seed: u64, space: &mut AddressSpace, pm: &mut PhysMem, alloc: &mut PhysAlloc) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd003);
+    map_and_fill(space, pm, alloc, ADM_FB, ADM_FB_PAGES, &mut rng);
+    map_and_fill(space, pm, alloc, ADM_ENT, ADM_ENT_PAGES, &mut rng);
+    map_and_fill(space, pm, alloc, ADM_TEX, ADM_TEX_PAGES, &mut rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_assembles() {
+        for k in Kernel::ALL {
+            let p = k.program(42);
+            assert!(p.len() > 10, "{} too small", k.name());
+            assert!(p.len() < 200, "{} suspiciously large", k.name());
+        }
+    }
+
+    #[test]
+    fn names_and_tags_are_unique() {
+        use std::collections::BTreeSet;
+        let names: BTreeSet<_> = Kernel::ALL.iter().map(|k| k.name()).collect();
+        let tags: BTreeSet<_> = Kernel::ALL.iter().map(|k| k.tag()).collect();
+        assert_eq!(names.len(), 8);
+        assert_eq!(tags.len(), 8);
+    }
+
+    #[test]
+    fn paper_numbers_match_table_2_and_4() {
+        assert_eq!(Kernel::Compress.paper_misses_per_100m(), 230_000);
+        assert_eq!(Kernel::Vortex.paper_misses_per_100m(), 86_000);
+        assert!((Kernel::Hydro2d.paper_base_ipc() - 1.3).abs() < 1e-9);
+        assert!((Kernel::Vortex.paper_base_ipc() - 4.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn setup_is_deterministic_per_seed() {
+        for k in [Kernel::Vortex, Kernel::Deltablue] {
+            let build = |seed| {
+                let mut pm = PhysMem::new();
+                let mut alloc = PhysAlloc::new();
+                let mut space = AddressSpace::new(1, &mut pm, &mut alloc);
+                k.setup(seed, &mut space, &mut pm, &mut alloc);
+                space.content_hash(&pm)
+            };
+            assert_eq!(build(7), build(7), "{}: same seed, same world", k.name());
+            assert_ne!(build(7), build(8), "{}: seeds differ", k.name());
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The canonical software TLB-miss handler (PAL code).
+//!
+//! Mirrors the dataflow of the Alpha 21164 PALcode data-TLB miss routine
+//! the paper runs (§5.1): read the faulting virtual address from a
+//! privileged register, index the linear page table with an ordinary
+//! cacheable load, validity-check the PTE, write the TLB, return. The
+//! page-fault path raises `HARDEXC` to escalate to the traditional
+//! mechanism (paper §4.3).
+//!
+//! The handler reads only privileged registers and the page table and
+//! writes only the TLB, which is exactly the property that lets it run in
+//! a separate thread with no cross-thread register communication
+//! (paper §4.2).
+
+use smtx_isa::{PrivReg, Program, ProgramBuilder, Reg};
+use smtx_mem::PAGE_SHIFT;
+
+/// Builds the TLB-miss handler. 12 instructions on the common path —
+/// "typically in the tens of instructions" (paper §4.4).
+///
+/// ```
+/// let handler = smtx_workloads::pal_handler();
+/// assert!(handler.len() >= 10 && handler.len() <= 20);
+/// ```
+#[must_use]
+pub fn pal_handler() -> Program {
+    let mut b = ProgramBuilder::with_base(0);
+    b.mfpr(Reg(1), PrivReg::FaultVa); //  r1 = faulting VA
+    b.mfpr(Reg(2), PrivReg::PtBase); //   r2 = page-table base (physical)
+    b.srli(Reg(3), Reg(1), PAGE_SHIFT as i32); // vpn
+    b.slli(Reg(3), Reg(3), 3); //          byte offset into the linear table
+    b.add(Reg(3), Reg(3), Reg(2)); //      physical PTE address
+    b.ldq(Reg(4), Reg(3), 0); //           load the PTE (cacheable)
+    b.andi(Reg(5), Reg(4), 1); //          valid bit
+    b.beq(Reg(5), "page_fault");
+    b.tlbwr(Reg(1), Reg(4)); //            install the translation
+    b.rfe();
+    b.label("page_fault");
+    b.hardexc(); //                        escalate (paper §4.3)
+    b.rfe();
+    b.build().expect("handler assembles")
+}
+
+/// Builds the emulated-`DIVU` handler (paper §6 generalized mechanism):
+/// reads the excepting instruction's operands from privileged scratch
+/// registers, computes the unsigned quotient by shift-subtract (64
+/// iterations — software emulation is expensive, which is exactly why
+/// overlapping it with independent work pays), and delivers the result
+/// with `MTDST`. Division by zero yields 0, matching the architected
+/// `DIVU` semantics.
+#[must_use]
+pub fn emul_divu_handler() -> Program {
+    let mut b = ProgramBuilder::with_base(0);
+    b.mfpr(Reg(1), PrivReg::Scratch0); // dividend
+    b.mfpr(Reg(2), PrivReg::Scratch1); // divisor
+    b.beq(Reg(2), "div_zero");
+    b.ldi(Reg(3), 64); // bit counter
+    b.ldi(Reg(4), 0); //  quotient
+    b.ldi(Reg(5), 0); //  remainder
+    b.label("bit");
+    b.slli(Reg(4), Reg(4), 1);
+    b.slli(Reg(5), Reg(5), 1);
+    b.srli(Reg(6), Reg(1), 63);
+    b.or(Reg(5), Reg(5), Reg(6));
+    b.slli(Reg(1), Reg(1), 1);
+    b.cmpult(Reg(7), Reg(5), Reg(2)); // remainder < divisor ?
+    b.bne(Reg(7), "no_sub");
+    b.sub(Reg(5), Reg(5), Reg(2));
+    b.ori(Reg(4), Reg(4), 1);
+    b.label("no_sub");
+    b.addi(Reg(3), Reg(3), -1);
+    b.bne(Reg(3), "bit");
+    b.mtdst(Reg(4));
+    b.rfe();
+    b.label("div_zero");
+    b.mtdst(Reg(31)); // architected DIVU-by-zero result: 0
+    b.rfe();
+    b.build().expect("emulation handler assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtx_isa::Op;
+
+    #[test]
+    fn handler_shape() {
+        let h = pal_handler();
+        assert_eq!(h.len(), 12);
+        let ops: Vec<Op> = h.iter().map(|(_, i)| i.op).collect();
+        assert!(ops.contains(&Op::Tlbwr));
+        assert!(ops.contains(&Op::Hardexc));
+        assert_eq!(ops.iter().filter(|&&o| o == Op::Rfe).count(), 2);
+        // No stores: the handler must not modify memory (paper §4.2).
+        assert!(ops.iter().all(|o| !o.is_store()));
+        // Exactly one load: the page-table read.
+        assert_eq!(ops.iter().filter(|o| o.is_load()).count(), 1);
+    }
+
+    #[test]
+    fn hardexc_precedes_any_state_change_on_the_fault_path() {
+        // Paper §4.3: the hard-exception instruction must appear before any
+        // instruction that permanently affects visible machine state. On
+        // the fault path the handler executes nothing but HARDEXC + RFE.
+        let h = pal_handler();
+        let fault = h.label_addr("page_fault").expect("label exists");
+        let idx = ((fault - h.base()) / 4) as usize;
+        assert_eq!(h.inst(idx).unwrap().op, Op::Hardexc);
+    }
+}

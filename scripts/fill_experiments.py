@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Fills EXPERIMENTS.md placeholders from results/all.txt sections."""
+import pathlib
+import re
+
+root = pathlib.Path(__file__).resolve().parent.parent
+sections = {}
+# Oldest first: sections from the newest run win.
+for path in sorted((root / "results").glob("all*.txt"), key=lambda p: p.stat().st_mtime):
+    current = None
+    for line in path.read_text().splitlines():
+        m = re.match(r"^=== (\w+) ===$", line)
+        if m:
+            current = m.group(1)
+            sections[current] = []  # later files override earlier ones
+        elif current:
+            sections[current].append(line)
+
+md = (root / "EXPERIMENTS.md").read_text()
+for name, lines in sections.items():
+    body = "\n".join(["```"] + [l for l in lines if l.strip()] + ["```"])
+    md = md.replace(f"<!-- {name.upper()} -->", body)
+(root / "EXPERIMENTS.md").write_text(md)
+print("filled:", ", ".join(sections))

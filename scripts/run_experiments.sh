@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation.
+# Sections accumulate in results/all-<timestamp>.txt (the format
+# scripts/fill_experiments.py consumes); pass --insts N to change the
+# per-thread instruction budget (default 300k).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=("$@")
+mkdir -p results
+OUT="results/all-$(date +%Y%m%d-%H%M%S).txt"
+cargo build --release -p smtx-bench
+
+for exp in table2 fig2 fig3 fig5 table3 fig6 table4 fig7; do
+    echo "=== $exp ===" | tee -a "$OUT"
+    cargo run --quiet --release -p smtx-bench --bin "$exp" -- "${ARGS[@]}" \
+        | tee -a "$OUT"
+done
+echo "EXIT-ALL" >> "$OUT"
+python3 scripts/fill_experiments.py
+echo "wrote $OUT and refreshed EXPERIMENTS.md"

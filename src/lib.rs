@@ -1,0 +1,43 @@
+//! # smtx — multithreaded exception handling on a simulated SMT core
+//!
+//! A from-scratch reproduction of *"The Use of Multithreading for Exception
+//! Handling"* (Zilles, Emer, Sohi — MICRO-32, 1999): a cycle-level
+//! simultaneous-multithreading (SMT) superscalar simulator whose software
+//! TLB-miss handler can run as a **separate hardware thread**, spliced into
+//! the application's retirement stream, instead of trapping and squashing
+//! the pipeline.
+//!
+//! This façade crate re-exports the workspace's public API:
+//!
+//! * [`isa`] — the RISC instruction set and assembler,
+//! * [`mem`] — physical memory, paging, TLB and cache hierarchy,
+//! * [`branch`] — YAGS, cascaded indirect predictor, checkpointed RAS,
+//! * [`core`] — the cycle-level SMT pipeline and the exception
+//!   architectures (traditional trap, multithreaded, hardware walker,
+//!   quick-start),
+//! * [`workloads`] — the PAL TLB-miss handler and the synthetic benchmark
+//!   kernels standing in for the paper's Alpha binaries.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`, or:
+//!
+//! ```
+//! use smtx::core::{ExnMechanism, Machine, MachineConfig};
+//! use smtx::workloads::Kernel;
+//!
+//! let config = MachineConfig::paper_baseline(ExnMechanism::Multithreaded);
+//! let mut machine = Machine::new(config);
+//! smtx::workloads::load_kernel(&mut machine, 0, Kernel::Compress, 42);
+//! let stats = machine.run(200_000);
+//! assert!(stats.retired(0) > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use smtx_branch as branch;
+pub use smtx_core as core;
+pub use smtx_isa as isa;
+pub use smtx_mem as mem;
+pub use smtx_workloads as workloads;

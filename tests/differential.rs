@@ -1,0 +1,91 @@
+//! Cross-crate differential tests: for every benchmark kernel and every
+//! exception architecture, the cycle machine's committed state after a
+//! fixed instruction budget must equal the reference interpreter's —
+//! registers, retirement count, and the full virtual-memory image.
+
+use smtx::core::{ExnMechanism, Machine, MachineConfig};
+use smtx::workloads::{kernel_reference, load_kernel, Kernel};
+
+const BUDGET: u64 = 6_000;
+const SEED: u64 = 42;
+
+fn check(kernel: Kernel, mechanism: ExnMechanism, threads: usize) {
+    let config = MachineConfig::paper_baseline(mechanism).with_threads(threads);
+    let mut m = Machine::new(config);
+    let space = load_kernel(&mut m, 0, kernel, SEED);
+    m.set_budget(0, BUDGET);
+    m.run(50_000_000);
+    assert_eq!(
+        m.stats().retired(0),
+        BUDGET,
+        "{} under {mechanism:?} did not finish",
+        kernel.name()
+    );
+
+    let mut world = kernel_reference(kernel, SEED);
+    world.run(BUDGET);
+    assert_eq!(
+        m.int_regs(0),
+        world.interp.int_regs(),
+        "{} under {mechanism:?}: integer registers diverged",
+        kernel.name()
+    );
+    assert_eq!(
+        m.fp_regs(0),
+        world.interp.fp_regs(),
+        "{} under {mechanism:?}: FP registers diverged",
+        kernel.name()
+    );
+    assert_eq!(
+        m.space(space).content_hash(m.phys()),
+        world.space.content_hash(&world.pm),
+        "{} under {mechanism:?}: memory image diverged",
+        kernel.name()
+    );
+}
+
+macro_rules! differential {
+    ($($fn_name:ident: $kernel:expr;)*) => {
+        $(
+            mod $fn_name {
+                use super::*;
+
+                #[test]
+                fn perfect() {
+                    check($kernel, ExnMechanism::PerfectTlb, 2);
+                }
+                #[test]
+                fn traditional() {
+                    check($kernel, ExnMechanism::Traditional, 2);
+                }
+                #[test]
+                fn multithreaded() {
+                    check($kernel, ExnMechanism::Multithreaded, 2);
+                }
+                #[test]
+                fn multithreaded_3_idle() {
+                    check($kernel, ExnMechanism::Multithreaded, 4);
+                }
+                #[test]
+                fn quickstart() {
+                    check($kernel, ExnMechanism::QuickStart, 2);
+                }
+                #[test]
+                fn hardware() {
+                    check($kernel, ExnMechanism::Hardware, 2);
+                }
+            }
+        )*
+    };
+}
+
+differential! {
+    alphadoom: Kernel::Alphadoom;
+    applu: Kernel::Applu;
+    compress: Kernel::Compress;
+    deltablue: Kernel::Deltablue;
+    gcc: Kernel::Gcc;
+    hydro2d: Kernel::Hydro2d;
+    murphi: Kernel::Murphi;
+    vortex: Kernel::Vortex;
+}

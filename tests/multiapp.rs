@@ -1,0 +1,90 @@
+//! Multi-application SMT integration tests (the Fig. 7 scenario): three
+//! kernels share the machine with one idle context; each thread's
+//! committed state must match its solo reference run, under every
+//! mechanism.
+
+use smtx::core::{ExnMechanism, Machine, MachineConfig};
+use smtx::workloads::{kernel_reference, load_kernel, Kernel, MIXES};
+
+const BUDGET: u64 = 4_000;
+
+fn check_mix(mix: [Kernel; 3], mechanism: ExnMechanism) {
+    let config = MachineConfig::paper_baseline(mechanism).with_threads(4);
+    let mut m = Machine::new(config);
+    let mut spaces = Vec::new();
+    for (tid, &k) in mix.iter().enumerate() {
+        spaces.push(load_kernel(&mut m, tid, k, 77 + tid as u64));
+        m.set_budget(tid, BUDGET);
+    }
+    m.run(100_000_000);
+    for (tid, &k) in mix.iter().enumerate() {
+        assert_eq!(
+            m.stats().retired(tid),
+            BUDGET,
+            "{} (thread {tid}) under {mechanism:?} unfinished",
+            k.name()
+        );
+        let mut world = kernel_reference(k, 77 + tid as u64);
+        world.run(BUDGET);
+        assert_eq!(
+            m.int_regs(tid),
+            world.interp.int_regs(),
+            "{} (thread {tid}) under {mechanism:?}: registers diverged",
+            k.name()
+        );
+        assert_eq!(
+            m.space(spaces[tid]).content_hash(m.phys()),
+            world.space.content_hash(&world.pm),
+            "{} (thread {tid}) under {mechanism:?}: memory diverged",
+            k.name()
+        );
+    }
+}
+
+#[test]
+fn mix_adm_gcc_vor_is_isolated_under_all_mechanisms() {
+    for mech in [
+        ExnMechanism::Traditional,
+        ExnMechanism::Multithreaded,
+        ExnMechanism::QuickStart,
+        ExnMechanism::Hardware,
+    ] {
+        check_mix(MIXES[0], mech);
+    }
+}
+
+#[test]
+fn mix_apl_cmp_h2d_is_isolated_under_multithreaded() {
+    check_mix(MIXES[1], ExnMechanism::Multithreaded);
+}
+
+#[test]
+fn mix_cmp_gcc_mph_is_isolated_under_multithreaded() {
+    check_mix(MIXES[7], ExnMechanism::Multithreaded);
+}
+
+#[test]
+fn mix_dbl_gcc_h2d_is_isolated_under_quickstart() {
+    check_mix(MIXES[3], ExnMechanism::QuickStart);
+}
+
+/// Three compress instances compete hard for the single idle context —
+/// reversion to trapping must kick in and stay architecturally clean.
+#[test]
+fn contended_handler_context_reverts_cleanly() {
+    let mix = [Kernel::Compress, Kernel::Compress, Kernel::Compress];
+    let config = MachineConfig::paper_baseline(ExnMechanism::Multithreaded).with_threads(4);
+    let mut m = Machine::new(config);
+    for tid in 0..3 {
+        load_kernel(&mut m, tid, mix[tid], 200 + tid as u64);
+        m.set_budget(tid, BUDGET);
+    }
+    m.run(100_000_000);
+    for tid in 0..3 {
+        assert_eq!(m.stats().retired(tid), BUDGET);
+        let mut world = kernel_reference(mix[tid], 200 + tid as u64);
+        world.run(BUDGET);
+        assert_eq!(m.int_regs(tid), world.interp.int_regs(), "thread {tid}");
+    }
+    assert!(m.stats().handlers_spawned > 0);
+}

@@ -1,0 +1,82 @@
+//! Property-based differential testing: proptest drives random program
+//! seeds and mechanism choices; any divergence shrinks to a minimal seed.
+
+use proptest::prelude::*;
+use smtx::core::{ExnMechanism, Machine, MachineConfig, ThreadState};
+use smtx::workloads::{pal_handler, randprog, reference_world};
+
+fn arb_mechanism() -> impl Strategy<Value = ExnMechanism> {
+    prop_oneof![
+        Just(ExnMechanism::PerfectTlb),
+        Just(ExnMechanism::Traditional),
+        Just(ExnMechanism::Multithreaded),
+        Just(ExnMechanism::QuickStart),
+        Just(ExnMechanism::Hardware),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The machine's committed state equals the interpreter's for any
+    /// generated program under any mechanism and any context count.
+    #[test]
+    fn machine_equals_interpreter(
+        seed in 1000u64..4000,
+        mechanism in arb_mechanism(),
+        threads in 1usize..4,
+    ) {
+        let rp = randprog::generate(seed);
+        let mut world = reference_world(&rp.program, |s, p, a| rp.setup(s, p, a));
+        let summary = world.run(2_000_000);
+        prop_assert!(summary.halted);
+
+        let config = MachineConfig::paper_baseline(mechanism).with_threads(threads);
+        let mut m = Machine::new(config);
+        m.install_pal_handler(&pal_handler());
+        let space = m.attach_program(0, &rp.program);
+        {
+            let (sp, pm, alloc) = m.vm_parts(space);
+            rp.setup(sp, pm, alloc);
+        }
+        m.run(80_000_000);
+        prop_assert_eq!(m.thread_state(0), ThreadState::Halted);
+        prop_assert_eq!(m.int_regs(0), world.interp.int_regs());
+        prop_assert_eq!(m.fp_regs(0), world.interp.fp_regs());
+        prop_assert_eq!(
+            m.space(space).content_hash(m.phys()),
+            world.space.content_hash(&world.pm)
+        );
+    }
+
+    /// Budget freezing commits an exact architectural prefix regardless of
+    /// mechanism: stopping at any instruction count yields interpreter
+    /// state.
+    #[test]
+    fn any_stopping_point_is_architectural(
+        seed in 1000u64..2000,
+        budget in 50u64..2000,
+        mechanism in arb_mechanism(),
+    ) {
+        let rp = randprog::generate(seed);
+        let mut world = reference_world(&rp.program, |s, p, a| rp.setup(s, p, a));
+        let summary = world.run(budget);
+
+        let config = MachineConfig::paper_baseline(mechanism).with_threads(2);
+        let mut m = Machine::new(config);
+        m.install_pal_handler(&pal_handler());
+        let space = m.attach_program(0, &rp.program);
+        {
+            let (sp, pm, alloc) = m.vm_parts(space);
+            rp.setup(sp, pm, alloc);
+        }
+        m.set_budget(0, budget);
+        m.run(80_000_000);
+        prop_assert_eq!(m.stats().retired(0), summary.retired);
+        prop_assert_eq!(m.int_regs(0), world.interp.int_regs());
+        prop_assert_eq!(
+            m.space(space).content_hash(m.phys()),
+            world.space.content_hash(&world.pm)
+        );
+    }
+}
