@@ -1,99 +1,98 @@
 //! Component micro-benchmarks: simulator building blocks in isolation
-//! (useful for tracking simulation throughput as the code evolves).
+//! (useful for tracking simulation throughput as the code evolves),
+//! timed with the in-tree [`smtx_bench::micro`] harness.
+//!
+//! `bench_step_cycle` isolates `Machine::step_cycle` — the hot loop the
+//! fast-hash/scratch-buffer optimizations target.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use smtx_bench::micro::bench;
 use smtx_branch::BranchUnit;
 use smtx_core::{ExnMechanism, Machine, MachineConfig};
 use smtx_mem::{MemorySystem, Tlb};
 use smtx_workloads::{kernel_reference, load_kernel, Kernel};
 
-fn tune(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group("components");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g
+fn cache_hierarchy() {
+    bench("mem/hierarchy_stream", || {
+        let mut m = MemorySystem::paper_baseline();
+        let mut sum = 0u64;
+        for i in 0..10_000u64 {
+            sum += m.access_data((i * 72) % (1 << 22), i);
+        }
+        sum
+    });
 }
 
-fn cache_hierarchy(c: &mut Criterion) {
-    tune(c).bench_function("mem/hierarchy_stream", |b| {
-        b.iter(|| {
-            let mut m = MemorySystem::paper_baseline();
-            let mut sum = 0u64;
-            for i in 0..10_000u64 {
-                sum += m.access_data((i * 72) % (1 << 22), i);
+fn tlb_ops() {
+    bench("mem/tlb_lookup_insert", || {
+        let mut tlb = Tlb::new(64);
+        let mut hits = 0u64;
+        for i in 0..10_000u64 {
+            let vpn = (i * 7) % 96;
+            if tlb.lookup(1, vpn).is_some() {
+                hits += 1;
+            } else {
+                tlb.insert(1, vpn, vpn << 13, None);
             }
-            sum
-        });
+        }
+        hits
     });
 }
 
-fn tlb_ops(c: &mut Criterion) {
-    tune(c).bench_function("mem/tlb_lookup_insert", |b| {
-        b.iter(|| {
-            let mut tlb = Tlb::new(64);
-            let mut hits = 0u64;
-            for i in 0..10_000u64 {
-                let vpn = (i * 7) % 96;
-                if tlb.lookup(1, vpn).is_some() {
-                    hits += 1;
-                } else {
-                    tlb.insert(1, vpn, vpn << 13, None);
-                }
+fn predictors() {
+    bench("branch/unit_predict_update", || {
+        let mut bu = BranchUnit::paper_baseline();
+        let mut correct = 0u64;
+        for i in 0..10_000u64 {
+            let pc = 0x1000 + (i % 37) * 4;
+            let outcome = (i / 3) % 2 == 0;
+            let (p, h) = bu.predict_cond(pc);
+            bu.update_cond(pc, h, outcome);
+            if p == outcome {
+                correct += 1;
             }
-            hits
-        });
+        }
+        correct
     });
 }
 
-fn predictors(c: &mut Criterion) {
-    tune(c).bench_function("branch/unit_predict_update", |b| {
-        b.iter(|| {
-            let mut bu = BranchUnit::paper_baseline();
-            let mut correct = 0u64;
-            for i in 0..10_000u64 {
-                let pc = 0x1000 + (i % 37) * 4;
-                let outcome = (i / 3) % 2 == 0;
-                let (p, h) = bu.predict_cond(pc);
-                bu.update_cond(pc, h, outcome);
-                if p == outcome {
-                    correct += 1;
-                }
-            }
-            correct
-        });
+fn interpreter_throughput() {
+    bench("core/interpreter_50k_insts", || {
+        let mut world = kernel_reference(Kernel::Murphi, 42);
+        world.run(50_000);
+        world.interp.dtlb_misses()
     });
 }
 
-fn interpreter_throughput(c: &mut Criterion) {
-    tune(c).bench_function("core/interpreter_50k_insts", |b| {
-        b.iter(|| {
-            let mut world = kernel_reference(Kernel::Murphi, 42);
-            world.run(50_000);
-            world.interp.dtlb_misses()
-        });
+fn pipeline_throughput() {
+    bench("core/pipeline_20k_insts", || {
+        let config = MachineConfig::paper_baseline(ExnMechanism::Multithreaded).with_threads(2);
+        let mut m = Machine::new(config);
+        load_kernel(&mut m, 0, Kernel::Murphi, 42);
+        m.set_budget(0, 20_000);
+        m.run(u64::MAX).cycles
     });
 }
 
-fn pipeline_throughput(c: &mut Criterion) {
-    tune(c).bench_function("core/pipeline_20k_insts", |b| {
-        b.iter(|| {
-            let config =
-                MachineConfig::paper_baseline(ExnMechanism::Multithreaded).with_threads(2);
-            let mut m = Machine::new(config);
-            load_kernel(&mut m, 0, Kernel::Murphi, 42);
-            m.set_budget(0, 20_000);
-            m.run(u64::MAX).cycles
-        });
+/// Times `Machine::step_cycle` directly: 10k cycles of a warmed-up
+/// multithreaded machine, the innermost loop everything else amortizes.
+fn bench_step_cycle() {
+    bench("core/step_cycle_10k", || {
+        let config = MachineConfig::paper_baseline(ExnMechanism::Multithreaded).with_threads(2);
+        let mut m = Machine::new(config);
+        load_kernel(&mut m, 0, Kernel::Murphi, 42);
+        m.set_budget(0, u64::MAX);
+        for _ in 0..10_000 {
+            m.step_cycle();
+        }
+        m.stats().cycles
     });
 }
 
-criterion_group!(
-    components,
-    cache_hierarchy,
-    tlb_ops,
-    predictors,
-    interpreter_throughput,
-    pipeline_throughput
-);
-criterion_main!(components);
+fn main() {
+    cache_hierarchy();
+    tlb_ops();
+    predictors();
+    interpreter_throughput();
+    pipeline_throughput();
+    bench_step_cycle();
+}

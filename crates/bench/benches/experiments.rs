@@ -1,10 +1,13 @@
-//! Criterion benches: scaled-down versions of every paper experiment.
+//! Experiment benches: scaled-down versions of every paper experiment,
+//! timed with the in-tree [`smtx_bench::micro`] harness.
 //!
-//! Each group times one experiment's core measurement at a reduced
+//! Each bench times one experiment's core measurement at a reduced
 //! instruction budget so `cargo bench` finishes in minutes; the full-size
 //! numbers come from the `fig*`/`table*` binaries (see DESIGN.md §4).
+//! `bench_fig5_point` is the headline number tracked by
+//! `scripts/bench_summary.sh`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smtx_bench::micro::bench;
 use smtx_bench::{config_with_idle, limit_config, penalty_per_miss, run_kernel};
 use smtx_core::{ExnMechanism, LimitKnobs, Machine, MachineConfig};
 use smtx_workloads::{load_kernel, Kernel, MIXES};
@@ -13,61 +16,52 @@ const INSTS: u64 = 8_000;
 const SEED: u64 = 42;
 
 /// Fig. 2: traditional-handler penalty vs. pipeline depth.
-fn fig2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_pipeline_depth");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn fig2() {
     for depth in [3u64, 7, 11] {
-        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
-            let cfg = config_with_idle(ExnMechanism::Traditional, 1).with_pipe_depth(d);
-            b.iter(|| penalty_per_miss(Kernel::Compress, SEED, INSTS, &cfg));
+        let cfg = config_with_idle(ExnMechanism::Traditional, 1).with_pipe_depth(depth);
+        bench(&format!("fig2_pipeline_depth/{depth}"), || {
+            penalty_per_miss(Kernel::Compress, SEED, INSTS, &cfg)
         });
     }
-    g.finish();
 }
 
 /// Fig. 3: width/window sweep.
-fn fig3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_width");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn fig3() {
     for (w, win) in [(2usize, 32usize), (4, 64), (8, 128)] {
-        g.bench_with_input(BenchmarkId::from_parameter(w), &(w, win), |b, &(w, win)| {
-            let cfg = config_with_idle(ExnMechanism::Traditional, 1).with_width_window(w, win);
-            b.iter(|| run_kernel(Kernel::Murphi, SEED, INSTS, cfg.clone()).cycles);
+        let cfg = config_with_idle(ExnMechanism::Traditional, 1).with_width_window(w, win);
+        bench(&format!("fig3_width/{w}"), || {
+            run_kernel(Kernel::Murphi, SEED, INSTS, cfg.clone()).cycles
         });
     }
-    g.finish();
 }
 
 /// Fig. 5: the four main mechanisms.
-fn fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_mechanisms");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn fig5() {
     for (name, mech, idle) in [
         ("traditional", ExnMechanism::Traditional, 1usize),
         ("multi1", ExnMechanism::Multithreaded, 1),
         ("multi3", ExnMechanism::Multithreaded, 3),
         ("hardware", ExnMechanism::Hardware, 1),
     ] {
-        g.bench_function(name, |b| {
-            let cfg = config_with_idle(mech, idle);
-            b.iter(|| penalty_per_miss(Kernel::Vortex, SEED, INSTS, &cfg));
+        let cfg = config_with_idle(mech, idle);
+        bench(&format!("fig5_mechanisms/{name}"), || {
+            penalty_per_miss(Kernel::Vortex, SEED, INSTS, &cfg)
         });
     }
-    g.finish();
+}
+
+/// The headline single-point measurement `scripts/bench_summary.sh`
+/// tracks: one fig5 cell (mechanism run + perfect baseline + reference
+/// interpreter) at a fixed budget.
+fn bench_fig5_point() {
+    let cfg = config_with_idle(ExnMechanism::Multithreaded, 1);
+    bench("fig5_point/vortex_multi1_20k", || {
+        penalty_per_miss(Kernel::Vortex, SEED, 20_000, &cfg)
+    });
 }
 
 /// Table 3: limit-study knobs.
-fn table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_limits");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn table3() {
     let knobs: [(&str, LimitKnobs); 4] = [
         ("free_exec", LimitKnobs { free_execute_bandwidth: true, ..Default::default() }),
         ("free_window", LimitKnobs { free_window: true, ..Default::default() }),
@@ -75,76 +69,66 @@ fn table3(c: &mut Criterion) {
         ("instant", LimitKnobs { instant_handler_fetch: true, ..Default::default() }),
     ];
     for (name, k) in knobs {
-        g.bench_function(name, |b| {
-            let cfg = limit_config(k);
-            b.iter(|| penalty_per_miss(Kernel::Compress, SEED, INSTS, &cfg));
+        let cfg = limit_config(k);
+        bench(&format!("table3_limits/{name}"), || {
+            penalty_per_miss(Kernel::Compress, SEED, INSTS, &cfg)
         });
     }
-    g.finish();
 }
 
 /// Fig. 6: quick-start.
-fn fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_quickstart");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn fig6() {
     for (name, mech) in [
         ("multi", ExnMechanism::Multithreaded),
         ("quickstart", ExnMechanism::QuickStart),
     ] {
-        g.bench_function(name, |b| {
-            let cfg = config_with_idle(mech, 1);
-            b.iter(|| penalty_per_miss(Kernel::Compress, SEED, INSTS, &cfg));
+        let cfg = config_with_idle(mech, 1);
+        bench(&format!("fig6_quickstart/{name}"), || {
+            penalty_per_miss(Kernel::Compress, SEED, INSTS, &cfg)
         });
     }
-    g.finish();
 }
 
 /// Table 4 core measurement: traditional vs. mechanism cycle counts.
-fn table4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table4_speedup");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn table4() {
     for (name, mech) in [
         ("traditional", ExnMechanism::Traditional),
         ("quick3", ExnMechanism::QuickStart),
     ] {
-        g.bench_function(name, |b| {
-            let cfg = config_with_idle(mech, 3);
-            b.iter(|| run_kernel(Kernel::Compress, SEED, INSTS, cfg.clone()).cycles);
+        let cfg = config_with_idle(mech, 3);
+        bench(&format!("table4_speedup/{name}"), || {
+            run_kernel(Kernel::Compress, SEED, INSTS, cfg.clone()).cycles
         });
     }
-    g.finish();
 }
 
 /// Fig. 7: one three-application mix per mechanism.
-fn fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_multiapp");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn fig7() {
     let mix = MIXES[7]; // cmp-gcc-mph
     for (name, mech) in [
         ("traditional", ExnMechanism::Traditional),
         ("multi", ExnMechanism::Multithreaded),
         ("hardware", ExnMechanism::Hardware),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let config = MachineConfig::paper_baseline(mech).with_threads(4);
-                let mut m = Machine::new(config);
-                for (tid, &k) in mix.iter().enumerate() {
-                    load_kernel(&mut m, tid, k, SEED + tid as u64);
-                    m.set_budget(tid, INSTS / 3);
-                }
-                m.run(u64::MAX).cycles
-            });
+        bench(&format!("fig7_multiapp/{name}"), || {
+            let config = MachineConfig::paper_baseline(mech).with_threads(4);
+            let mut m = Machine::new(config);
+            for (tid, &k) in mix.iter().enumerate() {
+                load_kernel(&mut m, tid, k, SEED + tid as u64);
+                m.set_budget(tid, INSTS / 3);
+            }
+            m.run(u64::MAX).cycles
         });
     }
-    g.finish();
 }
 
-criterion_group!(experiments, fig2, fig3, fig5, table3, fig6, table4, fig7);
-criterion_main!(experiments);
+fn main() {
+    fig2();
+    fig3();
+    fig5();
+    bench_fig5_point();
+    table3();
+    fig6();
+    table4();
+    fig7();
+}

@@ -1,0 +1,43 @@
+//! Figure 5 computed the pre-runner way: one serial, non-memoized
+//! simulation per table cell, exactly as the original experiment loop did.
+//!
+//! This binary exists as the wall-clock baseline for
+//! `scripts/bench_summary.sh`: it re-runs the shared perfect-TLB baseline
+//! for every mechanism column and the reference interpreter for every
+//! query, so the speedup of `fig5` over `fig5_naive` is the measured win
+//! of the parallel memoizing runner. Its rows must always match `fig5`'s.
+
+use smtx_bench::{config_with_idle, header, insts_for, parse_args, penalty_per_miss, row};
+use smtx_core::ExnMechanism;
+use smtx_workloads::Kernel;
+
+fn main() {
+    let args = parse_args();
+    println!("Figure 5 — relative TLB miss performance (penalty cycles per miss)");
+    println!("paper averages: traditional 22.7, multi(1) 11.7, multi(3) 11.0, hardware 7.3");
+    println!("per-thread instruction budget: {}\n", args.insts);
+    let configs = [
+        ("traditional", config_with_idle(ExnMechanism::Traditional, 1)),
+        ("multi(1)", config_with_idle(ExnMechanism::Multithreaded, 1)),
+        ("multi(3)", config_with_idle(ExnMechanism::Multithreaded, 3)),
+        ("hardware", config_with_idle(ExnMechanism::Hardware, 1)),
+    ];
+    println!(
+        "{}",
+        header("bench", &configs.iter().map(|(n, _)| *n).collect::<Vec<_>>())
+    );
+    let mut sums = vec![0.0; configs.len()];
+    for k in Kernel::ALL {
+        let insts = insts_for(k, args.seed, args.insts);
+        let cells: Vec<f64> = configs
+            .iter()
+            .map(|(_, cfg)| penalty_per_miss(k, args.seed, insts, cfg))
+            .collect();
+        for (s, c) in sums.iter_mut().zip(&cells) {
+            *s += c;
+        }
+        println!("{}", row(k.name(), &cells));
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / Kernel::ALL.len() as f64).collect();
+    println!("{}", row("average", &avg));
+}

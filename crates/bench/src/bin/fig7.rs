@@ -1,40 +1,23 @@
 //! Figure 7: average TLB-miss penalties with three application threads
 //! plus one idle context, across the paper's eight benchmark mixes.
 
-use smtx_bench::{cycle_cap, header, parse_args, row};
-use smtx_core::{ExnMechanism, Machine, MachineConfig};
-use smtx_workloads::{kernel_reference, load_kernel, Kernel, MIXES};
+use std::time::Instant;
 
-fn run_mix(mix: [Kernel; 3], mechanism: ExnMechanism, insts: u64, seed: u64) -> u64 {
-    let config = MachineConfig::paper_baseline(mechanism).with_threads(4);
-    let mut m = Machine::new(config);
-    for (tid, &k) in mix.iter().enumerate() {
-        load_kernel(&mut m, tid, k, seed + tid as u64);
-        m.set_budget(tid, insts);
-    }
-    m.run(cycle_cap(insts * 3));
-    for tid in 0..3 {
-        assert_eq!(m.stats().retired(tid), insts, "{:?} thread {tid} unfinished", mix);
-    }
-    m.stats().cycles
-}
+use smtx_bench::{header, parse_args, row, Job, Report, Runner};
+use smtx_core::{ExnMechanism, MachineConfig};
+use smtx_workloads::MIXES;
 
-fn mix_arch_misses(mix: [Kernel; 3], insts: u64, seed: u64) -> u64 {
-    mix.iter()
-        .enumerate()
-        .map(|(tid, &k)| {
-            let mut w = kernel_reference(k, seed + tid as u64);
-            w.run(insts);
-            w.interp.dtlb_misses()
-        })
-        .sum()
+fn mix_config(mechanism: ExnMechanism) -> MachineConfig {
+    MachineConfig::paper_baseline(mechanism).with_threads(4)
 }
 
 fn main() {
-    let (insts, seed) = parse_args();
+    let args = parse_args();
+    let runner = Runner::new(args.jobs);
+    let t0 = Instant::now();
     println!("Figure 7 — TLB miss penalties with 3 applications on the SMT (+1 idle)");
     println!("paper: multithreaded reduces the average penalty ~25%, quick-start ~30%");
-    println!("per-thread instruction budget: {insts}\n");
+    println!("per-thread instruction budget: {}\n", args.insts);
     let mechs = [
         ("traditional", ExnMechanism::Traditional),
         ("multi(1)", ExnMechanism::Multithreaded),
@@ -45,15 +28,40 @@ fn main() {
         "{}",
         header("mix", &mechs.iter().map(|(n, _)| *n).collect::<Vec<_>>())
     );
+
+    let mut jobs = Vec::new();
+    for mix in MIXES {
+        for (tid, &k) in mix.iter().enumerate() {
+            jobs.push(Job::Ref { kernel: k, seed: args.seed + tid as u64, insts: args.insts });
+        }
+        jobs.push(Job::Mix {
+            mix,
+            seed: args.seed,
+            insts: args.insts,
+            config: mix_config(ExnMechanism::PerfectTlb),
+        });
+        for &(_, mech) in &mechs {
+            jobs.push(Job::Mix {
+                mix,
+                seed: args.seed,
+                insts: args.insts,
+                config: mix_config(mech),
+            });
+        }
+    }
+    runner.prefetch(jobs);
+
+    let mut report = Report::new("fig7", args.insts, args.seed, runner.jobs());
+    report.columns = mechs.iter().map(|(n, _)| n.to_string()).collect();
     let mut sums = vec![0.0; mechs.len()];
     for mix in MIXES {
         let label: String = mix.iter().map(|k| k.tag()).collect::<Vec<_>>().join("-");
-        let perfect = run_mix(mix, ExnMechanism::PerfectTlb, insts, seed);
-        let misses = mix_arch_misses(mix, insts, seed).max(1);
+        let perfect = runner.run_mix(mix, args.seed, args.insts, &mix_config(ExnMechanism::PerfectTlb));
+        let misses = runner.mix_arch_misses(mix, args.seed, args.insts).max(1);
         let cells: Vec<f64> = mechs
             .iter()
             .map(|&(_, mech)| {
-                let cycles = run_mix(mix, mech, insts, seed);
+                let cycles = runner.run_mix(mix, args.seed, args.insts, &mix_config(mech));
                 (cycles as f64 - perfect as f64) / misses as f64
             })
             .collect();
@@ -61,12 +69,20 @@ fn main() {
             *s += c;
         }
         println!("{}", row(&label, &cells));
+        report.push_row(&label, &cells);
     }
     let avg: Vec<f64> = sums.iter().map(|s| s / MIXES.len() as f64).collect();
     println!("{}", row("average", &avg));
+    report.push_row("average", &avg);
     println!(
         "\nreduction vs traditional: multi {:.0}%, quick-start {:.0}%",
         (1.0 - avg[1] / avg[0]) * 100.0,
         (1.0 - avg[2] / avg[0]) * 100.0
     );
+
+    report.wall = t0.elapsed();
+    report.runner = runner.stats();
+    if let Some(path) = &args.json {
+        report.write(path);
+    }
 }

@@ -1,16 +1,21 @@
 //! Table 3: limit studies — average penalty cycles per miss with each
 //! overhead of the multithreaded mechanism removed in turn.
 
-use smtx_bench::{config_with_idle, limit_config, parse_args, penalty_per_miss};
+use std::time::Instant;
+
+use smtx_bench::runner::perfect_of;
+use smtx_bench::{config_with_idle, limit_config, parse_args, Job, Report, Runner};
 use smtx_core::{ExnMechanism, LimitKnobs};
 use smtx_workloads::Kernel;
 
 fn main() {
-    let (insts, seed) = parse_args();
+    let args = parse_args();
+    let runner = Runner::new(args.jobs);
+    let t0 = Instant::now();
     println!("Table 3 — limit studies (average penalty cycles per miss)");
     println!("paper: traditional 22.4, multi 11.0, -exec-bw 10.7, -window 10.5,");
     println!("       -fetch/decode-bw 10.2, instant-fetch 8.5, hardware 7.1");
-    println!("per-thread instruction budget: {insts}\n");
+    println!("per-thread instruction budget: {}\n", args.insts);
 
     let rows: Vec<(&str, smtx_core::MachineConfig)> = vec![
         ("Traditional Software", config_with_idle(ExnMechanism::Traditional, 3)),
@@ -33,13 +38,35 @@ fn main() {
         ),
         ("Hardware TLB miss handler", config_with_idle(ExnMechanism::Hardware, 3)),
     ];
+
+    let budgets = runner.insts_map(&Kernel::ALL, args.seed, args.insts);
+    let mut jobs = Vec::new();
+    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
+        jobs.push(Job::Ref { kernel: k, seed: args.seed, insts });
+        for (_, cfg) in &rows {
+            jobs.push(Job::Sim { kernel: k, seed: args.seed, insts, config: cfg.clone() });
+            jobs.push(Job::Sim { kernel: k, seed: args.seed, insts, config: perfect_of(cfg) });
+        }
+    }
+    runner.prefetch(jobs);
+
+    let mut report = Report::new("table3", args.insts, args.seed, runner.jobs());
+    report.columns = vec!["penalty/miss".into()];
     println!("{:<44} {:>12}", "Configuration", "Penalty/Miss");
     for (name, cfg) in rows {
         let avg: f64 = Kernel::ALL
             .iter()
-            .map(|&k| penalty_per_miss(k, seed, smtx_bench::insts_for(k, seed, insts), &cfg))
+            .zip(&budgets)
+            .map(|(&k, &insts)| runner.penalty_per_miss(k, args.seed, insts, &cfg))
             .sum::<f64>()
             / Kernel::ALL.len() as f64;
         println!("{name:<44} {avg:>12.2}");
+        report.push_row(name, &[avg]);
+    }
+
+    report.wall = t0.elapsed();
+    report.runner = runner.stats();
+    if let Some(path) = &args.json {
+        report.write(path);
     }
 }

@@ -21,13 +21,28 @@
 //! | `table2` | kernel miss densities vs. the paper's |
 //!
 //! Every binary accepts `--insts N` (per-thread instruction budget, default
-//! 300k) and prints paper-style rows.
+//! 300k), `--seed N`, `--jobs N` (worker-pool size, default: all cores) and
+//! `--json PATH` (machine-readable report), and prints paper-style rows.
+//!
+//! Execution goes through the [`runner`] module: an experiment expands into
+//! a flat list of independent simulation jobs, deduplicated by
+//! `RunKey {kernel, seed, insts, config-digest}` and executed once each
+//! across a scoped-thread pool; repeated requests (the shared perfect-TLB
+//! baseline, reference-interpreter miss counts, budget probes) are cache
+//! hits.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod micro;
+pub mod report;
+pub mod runner;
+
 use smtx_core::{ExnMechanism, LimitKnobs, Machine, MachineConfig};
 use smtx_workloads::{kernel_reference, load_kernel, Kernel};
+
+pub use report::Report;
+pub use runner::{Job, MixKey, RunKey, Runner};
 
 /// Default per-thread instruction budget for experiment binaries.
 pub const DEFAULT_INSTS: u64 = 300_000;
@@ -139,31 +154,75 @@ pub fn limit_config(knobs: LimitKnobs) -> MachineConfig {
     config_with_idle(ExnMechanism::Multithreaded, 3).with_limits(knobs)
 }
 
-/// Parses `--insts N` (and `--seed N`) from argv, returning
-/// `(insts, seed)`.
+/// Parsed experiment command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// Per-thread instruction budget (`--insts`, default 300k).
+    pub insts: u64,
+    /// Workload seed (`--seed`, default 42).
+    pub seed: u64,
+    /// Worker-pool size (`--jobs`, default 0 = all available cores).
+    pub jobs: usize,
+    /// Machine-readable report destination (`--json PATH`).
+    pub json: Option<std::path::PathBuf>,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args { insts: DEFAULT_INSTS, seed: 42, jobs: 0, json: None }
+    }
+}
+
+/// Parses the experiment flags from argv: `--insts N`, `--seed N`,
+/// `--jobs N` and `--json PATH`. Unknown or malformed arguments abort with
+/// a usage message — a silently ignored typo (`--inst 500000`) would
+/// otherwise run the full default-budget experiment and report it as the
+/// requested one.
 #[must_use]
-pub fn parse_args() -> (u64, u64) {
-    let args: Vec<String> = std::env::args().collect();
-    let mut insts = DEFAULT_INSTS;
-    let mut seed = 42;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--insts" if i + 1 < args.len() => {
-                insts = args[i + 1].parse().expect("--insts takes a number");
-                i += 2;
-            }
-            "--seed" if i + 1 < args.len() => {
-                seed = args[i + 1].parse().expect("--seed takes a number");
-                i += 2;
-            }
-            other => {
-                eprintln!("ignoring unknown argument `{other}`");
-                i += 1;
-            }
+pub fn parse_args() -> Args {
+    match parse_arg_list(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: <experiment> [--insts N] [--seed N] [--jobs N] [--json PATH]"
+            );
+            std::process::exit(2);
         }
     }
-    (insts, seed)
+}
+
+/// Testable core of [`parse_args`].
+pub fn parse_arg_list<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--insts" => {
+                args.insts = value_for("--insts")?
+                    .parse()
+                    .map_err(|e| format!("--insts: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value_for("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--jobs" => {
+                args.jobs = value_for("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--json" => {
+                args.json = Some(value_for("--json")?.into());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
 }
 
 /// Formats a row of `f64` cells after a left-justified label.
@@ -203,5 +262,30 @@ mod tests {
         let r = row("cmp", &[1.5, 2.25]);
         assert!(h.starts_with("bench"));
         assert!(r.contains("1.50") && r.contains("2.25"));
+    }
+
+    #[test]
+    fn parse_arg_list_accepts_all_flags() {
+        let argv = ["--insts", "5000", "--seed", "7", "--jobs", "3", "--json", "out.json"]
+            .iter()
+            .map(|s| s.to_string());
+        let args = parse_arg_list(argv).unwrap();
+        assert_eq!(args.insts, 5_000);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.jobs, 3);
+        assert_eq!(args.json.as_deref(), Some(std::path::Path::new("out.json")));
+    }
+
+    #[test]
+    fn parse_arg_list_rejects_unknown_and_malformed_flags() {
+        assert!(parse_arg_list(["--inst".to_string(), "5".to_string()])
+            .unwrap_err()
+            .contains("unknown argument"));
+        assert!(parse_arg_list(["--insts".to_string()])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse_arg_list(["--jobs".to_string(), "x".to_string()])
+            .unwrap_err()
+            .contains("--jobs"));
     }
 }

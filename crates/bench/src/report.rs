@@ -1,0 +1,151 @@
+//! Machine-readable experiment reports (`--json PATH`).
+//!
+//! The emitter is deliberately hand-rolled: the schema is flat, the values
+//! are numbers and short ASCII labels, and keeping it dependency-free
+//! matters more than generality. Non-finite floats serialize as `null` so
+//! the output is always valid JSON.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use crate::runner::RunnerStats;
+
+/// One experiment's machine-readable summary.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment name (e.g. `fig5`).
+    pub experiment: String,
+    /// Requested per-thread instruction budget.
+    pub insts: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Worker-pool size used.
+    pub jobs: usize,
+    /// Wall-clock for the whole experiment.
+    pub wall: Duration,
+    /// Cache counters from the runner.
+    pub runner: RunnerStats,
+    /// Column labels, matching each row's cell order.
+    pub columns: Vec<String>,
+    /// `(label, cells)` rows as printed.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Report {
+    /// Creates an empty report for `experiment`.
+    #[must_use]
+    pub fn new(experiment: &str, insts: u64, seed: u64, jobs: usize) -> Report {
+        Report {
+            experiment: experiment.to_string(),
+            insts,
+            seed,
+            jobs,
+            ..Report::default()
+        }
+    }
+
+    /// Records one printed row.
+    pub fn push_row(&mut self, label: &str, cells: &[f64]) {
+        self.rows.push((label.to_string(), cells.to_vec()));
+    }
+
+    /// Serializes the report as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"experiment\": {},\n", json_str(&self.experiment)));
+        s.push_str(&format!("  \"insts\": {},\n", self.insts));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!("  \"wall_ms\": {},\n", json_f64(self.wall.as_secs_f64() * 1e3)));
+        s.push_str(&format!("  \"unique_runs\": {},\n", self.runner.unique_runs));
+        s.push_str(&format!("  \"cache_hits\": {},\n", self.runner.cache_hits));
+        s.push_str(&format!("  \"sim_cycles\": {},\n", self.runner.sim_cycles));
+        s.push_str(&format!(
+            "  \"cycles_per_second\": {},\n",
+            json_f64(self.runner.sim_cycles as f64 / self.wall.as_secs_f64().max(1e-9))
+        ));
+        s.push_str("  \"columns\": [");
+        s.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| json_str(c))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        s.push_str("],\n  \"rows\": [\n");
+        for (i, (label, cells)) in self.rows.iter().enumerate() {
+            let cells_json = cells.iter().map(|&c| json_f64(c)).collect::<Vec<_>>().join(", ");
+            s.push_str(&format!(
+                "    {{\"label\": {}, \"cells\": [{}]}}{}\n",
+                json_str(label),
+                cells_json,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — an experiment whose requested
+    /// output vanishes should fail loudly.
+    pub fn write(&self, path: &std::path::Path) {
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        f.write_all(self.to_json().as_bytes())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_to_valid_shape() {
+        let mut r = Report::new("fig5", 1000, 42, 4);
+        r.columns = vec!["a".into(), "b".into()];
+        r.push_row("compress", &[1.5, f64::NAN]);
+        r.wall = Duration::from_millis(125);
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\": \"fig5\""));
+        assert!(json.contains("\"cells\": [1.5, null]"));
+        assert!(json.contains("\"wall_ms\": 125"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("tab\there"), "\"tab\\u0009here\"");
+    }
+}

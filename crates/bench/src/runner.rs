@@ -1,0 +1,432 @@
+//! The parallel, memoizing experiment runner.
+//!
+//! Every experiment binary expands its figure or table into a flat list of
+//! independent simulation jobs, hands them to a [`Runner`], and then prints
+//! its rows by querying the runner — each unique simulation point runs
+//! exactly once, across a pool of scoped worker threads, and every repeated
+//! request (the perfect-TLB baseline shared by all mechanism columns, the
+//! reference-interpreter miss counts, the `insts_for` budget probes) is
+//! served from a shared in-process cache.
+//!
+//! Jobs are deduplicated by [`RunKey`]: kernel, seed, instruction budget
+//! and the [`MachineConfig::digest`] of the configuration. The simulator is
+//! fully deterministic, so the same `RunKey` always yields bit-identical
+//! [`Stats`] whether it is computed serially, in parallel, or served from
+//! the cache — `tests/runner_determinism.rs` holds that gate.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use smtx_core::{ExnMechanism, Machine, MachineConfig};
+use smtx_workloads::{kernel_reference, load_kernel, Kernel};
+
+use crate::{cycle_cap, RunResult, MIN_MISSES};
+
+/// Identity of one unique simulation: everything that influences the
+/// resulting [`smtx_core::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Workload kernel.
+    pub kernel: Kernel,
+    /// Workload seed.
+    pub seed: u64,
+    /// Per-thread instruction budget.
+    pub insts: u64,
+    /// [`MachineConfig::digest`] of the configuration.
+    pub config_digest: u64,
+}
+
+/// Identity of one multi-application (Fig. 7) simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MixKey {
+    /// The three application kernels, in thread order.
+    pub mix: [Kernel; 3],
+    /// Base seed (thread `tid` runs with `seed + tid`).
+    pub seed: u64,
+    /// Per-thread instruction budget.
+    pub insts: u64,
+    /// [`MachineConfig::digest`] of the configuration.
+    pub config_digest: u64,
+}
+
+/// One independent unit of work for [`Runner::prefetch`].
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// A single-kernel machine simulation.
+    Sim {
+        /// Workload kernel.
+        kernel: Kernel,
+        /// Workload seed.
+        seed: u64,
+        /// Per-thread instruction budget.
+        insts: u64,
+        /// Machine configuration.
+        config: MachineConfig,
+    },
+    /// A reference-interpreter run counting architectural TLB misses.
+    Ref {
+        /// Workload kernel.
+        kernel: Kernel,
+        /// Workload seed.
+        seed: u64,
+        /// Instruction budget.
+        insts: u64,
+    },
+    /// A three-application SMT simulation (Fig. 7).
+    Mix {
+        /// The three application kernels.
+        mix: [Kernel; 3],
+        /// Base seed.
+        seed: u64,
+        /// Per-thread instruction budget.
+        insts: u64,
+        /// Machine configuration.
+        config: MachineConfig,
+    },
+}
+
+impl Job {
+    fn key(&self) -> JobKey {
+        match self {
+            Job::Sim { kernel, seed, insts, config } => JobKey::Sim(RunKey {
+                kernel: *kernel,
+                seed: *seed,
+                insts: *insts,
+                config_digest: config.digest(),
+            }),
+            Job::Ref { kernel, seed, insts } => JobKey::Ref(*kernel, *seed, *insts),
+            Job::Mix { mix, seed, insts, config } => JobKey::Mix(MixKey {
+                mix: *mix,
+                seed: *seed,
+                insts: *insts,
+                config_digest: config.digest(),
+            }),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum JobKey {
+    Sim(RunKey),
+    Ref(Kernel, u64, u64),
+    Mix(MixKey),
+}
+
+/// Cache-effectiveness counters (all monotonic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunnerStats {
+    /// Unique simulation/reference points actually computed.
+    pub unique_runs: u64,
+    /// Requests served from the cache.
+    pub cache_hits: u64,
+    /// Machine cycles simulated across all unique runs.
+    pub sim_cycles: u64,
+}
+
+/// The shared executor: a job cache plus a scoped-thread worker pool.
+///
+/// All query methods (`run`, `arch_misses`, `penalty_per_miss`, …) are
+/// compute-on-miss, so experiment code never has to care whether a point
+/// was prefetched; [`Runner::prefetch`] exists purely to expose the
+/// parallelism.
+pub struct Runner {
+    jobs: usize,
+    sims: Mutex<HashMap<RunKey, Arc<RunResult>>>,
+    refs: Mutex<HashMap<(Kernel, u64, u64), u64>>,
+    mixes: Mutex<HashMap<MixKey, u64>>,
+    unique_runs: AtomicU64,
+    cache_hits: AtomicU64,
+    sim_cycles: AtomicU64,
+}
+
+impl Runner {
+    /// Creates a runner executing up to `jobs` simulations concurrently;
+    /// `0` selects the host's available parallelism.
+    #[must_use]
+    pub fn new(jobs: usize) -> Runner {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            jobs
+        };
+        Runner {
+            jobs,
+            sims: Mutex::new(HashMap::new()),
+            refs: Mutex::new(HashMap::new()),
+            mixes: Mutex::new(HashMap::new()),
+            unique_runs: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            sim_cycles: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured parallelism degree.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Cache-effectiveness counters.
+    #[must_use]
+    pub fn stats(&self) -> RunnerStats {
+        RunnerStats {
+            unique_runs: self.unique_runs.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes `jobs` across the worker pool, deduplicating within the
+    /// batch and against already-cached results. Afterwards every query for
+    /// one of these points is a cache hit.
+    pub fn prefetch(&self, jobs: Vec<Job>) {
+        let mut pending = Vec::with_capacity(jobs.len());
+        let mut seen = std::collections::HashSet::new();
+        for job in jobs {
+            let key = job.key();
+            if !seen.insert(key) || self.is_cached(&key) {
+                continue;
+            }
+            pending.push(job);
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let workers = self.jobs.min(pending.len());
+        if workers <= 1 {
+            for job in &pending {
+                self.execute(job);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = pending.get(i) else { break };
+                    self.execute(job);
+                });
+            }
+        });
+    }
+
+    fn is_cached(&self, key: &JobKey) -> bool {
+        match key {
+            JobKey::Sim(k) => self.sims.lock().expect("sim cache").contains_key(k),
+            JobKey::Ref(kernel, seed, insts) => self
+                .refs
+                .lock()
+                .expect("ref cache")
+                .contains_key(&(*kernel, *seed, *insts)),
+            JobKey::Mix(k) => self.mixes.lock().expect("mix cache").contains_key(k),
+        }
+    }
+
+    fn execute(&self, job: &Job) {
+        match job {
+            Job::Sim { kernel, seed, insts, config } => {
+                let _ = self.run(*kernel, *seed, *insts, config);
+            }
+            Job::Ref { kernel, seed, insts } => {
+                let _ = self.arch_misses(*kernel, *seed, *insts);
+            }
+            Job::Mix { mix, seed, insts, config } => {
+                let _ = self.run_mix(*mix, *seed, *insts, config);
+            }
+        }
+    }
+
+    /// Memoized [`crate::run_kernel`]: runs `kernel` under `config`,
+    /// serving repeats of the same [`RunKey`] from the cache.
+    pub fn run(
+        &self,
+        kernel: Kernel,
+        seed: u64,
+        insts: u64,
+        config: &MachineConfig,
+    ) -> Arc<RunResult> {
+        let key = RunKey { kernel, seed, insts, config_digest: config.digest() };
+        if let Some(hit) = self.sims.lock().expect("sim cache").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock; a concurrent duplicate (only possible
+        // when callers race past prefetch) wastes work but, the simulator
+        // being deterministic, never changes the cached value.
+        let mut m = Machine::new(config.clone());
+        load_kernel(&mut m, 0, kernel, seed);
+        m.set_budget(0, insts);
+        m.run(cycle_cap(insts));
+        let stats = m.stats().clone();
+        assert_eq!(stats.retired(0), insts, "{} did not finish", kernel.name());
+        let arch_misses = self.arch_misses(kernel, seed, insts);
+        let result = Arc::new(RunResult {
+            cycles: stats.cycles,
+            retired: insts,
+            arch_misses,
+            stats,
+        });
+        self.unique_runs.fetch_add(1, Ordering::Relaxed);
+        self.sim_cycles.fetch_add(result.cycles, Ordering::Relaxed);
+        self.sims
+            .lock()
+            .expect("sim cache")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&result))
+            .clone()
+    }
+
+    /// Memoized [`crate::arch_misses`] (reference-interpreter DTLB misses).
+    pub fn arch_misses(&self, kernel: Kernel, seed: u64, insts: u64) -> u64 {
+        let key = (kernel, seed, insts);
+        if let Some(&hit) = self.refs.lock().expect("ref cache").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        let mut world = kernel_reference(kernel, seed);
+        world.run(insts);
+        let misses = world.interp.dtlb_misses();
+        self.unique_runs.fetch_add(1, Ordering::Relaxed);
+        *self
+            .refs
+            .lock()
+            .expect("ref cache")
+            .entry(key)
+            .or_insert(misses)
+    }
+
+    /// Memoized [`crate::insts_for`]: scales `base_insts` so the kernel
+    /// averages at least [`MIN_MISSES`] architectural misses.
+    pub fn insts_for(&self, kernel: Kernel, seed: u64, base_insts: u64) -> u64 {
+        let probe = probe_insts(base_insts);
+        let misses = self.arch_misses(kernel, seed, probe).max(1);
+        let density = misses as f64 / probe as f64;
+        let needed = (MIN_MISSES as f64 / density).ceil() as u64;
+        base_insts.max(needed)
+    }
+
+    /// The paper's §3 metric, with both the mechanism run and the shared
+    /// perfect-TLB baseline memoized.
+    pub fn penalty_per_miss(
+        &self,
+        kernel: Kernel,
+        seed: u64,
+        insts: u64,
+        config: &MachineConfig,
+    ) -> f64 {
+        let run = self.run(kernel, seed, insts, config);
+        let perfect = self.run(kernel, seed, insts, &perfect_of(config));
+        (run.cycles as f64 - perfect.cycles as f64) / run.arch_misses.max(1) as f64
+    }
+
+    /// Memoized Fig. 7 mix run: three kernels plus one idle context,
+    /// returning total machine cycles to retire every thread's budget.
+    pub fn run_mix(&self, mix: [Kernel; 3], seed: u64, insts: u64, config: &MachineConfig) -> u64 {
+        let key = MixKey { mix, seed, insts, config_digest: config.digest() };
+        if let Some(&hit) = self.mixes.lock().expect("mix cache").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        let mut m = Machine::new(config.clone());
+        for (tid, &k) in mix.iter().enumerate() {
+            load_kernel(&mut m, tid, k, seed + tid as u64);
+            m.set_budget(tid, insts);
+        }
+        m.run(cycle_cap(insts * 3));
+        for tid in 0..3 {
+            assert_eq!(m.stats().retired(tid), insts, "{mix:?} thread {tid} unfinished");
+        }
+        let cycles = m.stats().cycles;
+        self.unique_runs.fetch_add(1, Ordering::Relaxed);
+        self.sim_cycles.fetch_add(cycles, Ordering::Relaxed);
+        *self
+            .mixes
+            .lock()
+            .expect("mix cache")
+            .entry(key)
+            .or_insert(cycles)
+    }
+
+    /// Architectural misses summed over a mix's three threads (each
+    /// per-thread count individually memoized).
+    pub fn mix_arch_misses(&self, mix: [Kernel; 3], seed: u64, insts: u64) -> u64 {
+        mix.iter()
+            .enumerate()
+            .map(|(tid, &k)| self.arch_misses(k, seed + tid as u64, insts))
+            .sum()
+    }
+
+    /// Resolves per-kernel budgets for a whole experiment at once: the
+    /// budget probes run in parallel, then each kernel's scaled budget is
+    /// read from the cache.
+    pub fn insts_map(&self, kernels: &[Kernel], seed: u64, base_insts: u64) -> Vec<u64> {
+        let probe = probe_insts(base_insts);
+        self.prefetch(
+            kernels
+                .iter()
+                .map(|&k| Job::Ref { kernel: k, seed, insts: probe })
+                .collect(),
+        );
+        kernels
+            .iter()
+            .map(|&k| self.insts_for(k, seed, base_insts))
+            .collect()
+    }
+}
+
+/// The budget-probe length [`Runner::insts_for`] samples miss density over.
+fn probe_insts(base_insts: u64) -> u64 {
+    50_000.min(base_insts.max(1))
+}
+
+/// `config` with the mechanism swapped for the perfect TLB (the penalty
+/// metric's baseline).
+#[must_use]
+pub fn perfect_of(config: &MachineConfig) -> MachineConfig {
+    let mut perfect = config.clone();
+    perfect.mechanism = ExnMechanism::PerfectTlb;
+    perfect
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config_with_idle;
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let runner = Runner::new(1);
+        let cfg = config_with_idle(ExnMechanism::Traditional, 1);
+        let a = runner.run(Kernel::Compress, 42, 5_000, &cfg);
+        let before = runner.stats();
+        let b = runner.run(Kernel::Compress, 42, 5_000, &cfg);
+        let after = runner.stats();
+        assert_eq!(a.stats, b.stats, "cached result identical");
+        assert_eq!(after.unique_runs, before.unique_runs, "no recompute");
+        assert_eq!(after.cache_hits, before.cache_hits + 1);
+    }
+
+    #[test]
+    fn penalty_shares_the_perfect_baseline() {
+        let runner = Runner::new(1);
+        let multi = config_with_idle(ExnMechanism::Multithreaded, 1);
+        let hw = config_with_idle(ExnMechanism::Hardware, 1);
+        let _ = runner.penalty_per_miss(Kernel::Compress, 42, 5_000, &multi);
+        let unique_after_first = runner.stats().unique_runs;
+        let _ = runner.penalty_per_miss(Kernel::Compress, 42, 5_000, &hw);
+        // Second mechanism adds exactly one new simulation — the perfect
+        // baseline and the reference run are shared.
+        assert_eq!(runner.stats().unique_runs, unique_after_first + 1);
+    }
+
+    #[test]
+    fn prefetch_dedups_within_batch() {
+        let runner = Runner::new(2);
+        let cfg = config_with_idle(ExnMechanism::Traditional, 1);
+        let job = || Job::Sim { kernel: Kernel::Compress, seed: 42, insts: 3_000, config: cfg.clone() };
+        runner.prefetch(vec![job(), job(), job()]);
+        assert_eq!(runner.stats().unique_runs, 2, "one sim + its reference run");
+    }
+}

@@ -1,27 +1,31 @@
-//! Property-based tests of the predictor state machines.
+//! Randomized tests of the predictor state machines, driven by a seeded
+//! generator so every failure replays deterministically.
 
-use proptest::prelude::*;
 use smtx_branch::{BranchUnit, Ras, Yags};
+use smtx_rng::rngs::StdRng;
+use smtx_rng::{RngExt, SeedableRng};
 
-proptest! {
-    /// Checkpoint/restore is exact for a single level of speculation, for
-    /// any interleaving of speculative activity.
-    #[test]
-    fn checkpoint_restore_is_exact(
-        setup in prop::collection::vec((0u64..64, any::<bool>()), 0..50),
-        wrong_path in prop::collection::vec(0u8..4, 1..10),
-    ) {
+/// Checkpoint/restore is exact for a single level of speculation, for any
+/// interleaving of speculative activity.
+#[test]
+fn checkpoint_restore_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0xb7a_0001);
+    for case in 0..256 {
         let mut bu = BranchUnit::paper_baseline();
         // Architectural warm-up.
-        for (pc, outcome) in setup {
-            let (_, h) = bu.predict_cond(pc * 4);
-            bu.update_cond(pc * 4, h, outcome);
+        let warmup = rng.random_range(0usize..50);
+        for _ in 0..warmup {
+            let pc = rng.random_range(0u64..64) * 4;
+            let outcome: bool = rng.random();
+            let (_, h) = bu.predict_cond(pc);
+            bu.update_cond(pc, h, outcome);
         }
         bu.push_return(0x1234);
         let cp = bu.checkpoint();
         // Arbitrary wrong-path speculation (history-only operations).
-        for op in wrong_path {
-            match op {
+        let wrong_path = rng.random_range(1usize..10);
+        for _ in 0..wrong_path {
+            match rng.random_range(0u8..4) {
                 0 => {
                     let _ = bu.predict_cond(0x8000);
                 }
@@ -35,31 +39,39 @@ proptest! {
             }
         }
         bu.restore(cp);
-        prop_assert_eq!(bu.checkpoint(), cp);
-        prop_assert_eq!(bu.predict_return(), 0x1234);
+        assert_eq!(bu.checkpoint(), cp, "case {case}");
+        assert_eq!(bu.predict_return(), 0x1234, "case {case}");
     }
+}
 
-    /// YAGS converges on any strongly biased branch regardless of history
-    /// contents.
-    #[test]
-    fn yags_learns_biased_branches(pc in 0u64..10_000, bias in any::<bool>(), hist in any::<u64>()) {
+/// YAGS converges on any strongly biased branch regardless of history
+/// contents.
+#[test]
+fn yags_learns_biased_branches() {
+    let mut rng = StdRng::seed_from_u64(0xb7a_0002);
+    for _ in 0..512 {
+        let pc = rng.random_range(0u64..10_000) * 4;
+        let bias: bool = rng.random();
+        let hist = rng.random::<u64>() & 0xffff;
         let mut y = Yags::paper_baseline();
         for _ in 0..8 {
-            y.update(pc * 4, hist & 0xffff, bias);
+            y.update(pc, hist, bias);
         }
-        prop_assert_eq!(y.predict(pc * 4, hist & 0xffff), bias);
+        assert_eq!(y.predict(pc, hist), bias, "pc {pc:#x} hist {hist:#x} bias {bias}");
     }
+}
 
-    /// The RAS predicts perfectly for any properly nested call sequence
-    /// within its capacity.
-    #[test]
-    fn ras_nests(depth in 1usize..60) {
+/// The RAS predicts perfectly for any properly nested call sequence within
+/// its capacity.
+#[test]
+fn ras_nests() {
+    for depth in 1usize..60 {
         let mut ras = Ras::paper_baseline();
         for i in 0..depth {
             ras.push(0x1000 + i as u64 * 4);
         }
         for i in (0..depth).rev() {
-            prop_assert_eq!(ras.pop(), 0x1000 + i as u64 * 4);
+            assert_eq!(ras.pop(), 0x1000 + i as u64 * 4, "depth {depth}");
         }
     }
 }

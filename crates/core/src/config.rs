@@ -215,6 +215,52 @@ impl MachineConfig {
         self.limits = limits;
         self
     }
+
+    /// A stable digest over every field that influences simulation, used to
+    /// key memoized experiment results (`RunKey` in `smtx-bench`).
+    ///
+    /// Built on FNV-1a ([`smtx_util::StableHasher`]) rather than `std`'s
+    /// per-process-seeded hasher so equal configurations digest identically
+    /// across processes and runs. Any new `MachineConfig` field must be
+    /// folded in here — the field-count assertion in the digest test is the
+    /// tripwire.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = smtx_util::StableHasher::new();
+        h.write_usize(self.width);
+        h.write_usize(self.window);
+        h.write_usize(self.threads);
+        h.write_u64(self.fetch_latency);
+        h.write_u64(self.issue_delay);
+        h.write_usize(self.fetch_buffer);
+        h.write_usize(self.fu.int_alu);
+        h.write_usize(self.fu.int_mul);
+        h.write_usize(self.fu.fp_add);
+        h.write_usize(self.fu.fp_div);
+        h.write_usize(self.fu.ldst_ports);
+        for geom in [self.mem.l1i, self.mem.l1d, self.mem.l2] {
+            h.write_u64(geom.size);
+            h.write_usize(geom.assoc);
+            h.write_u64(geom.line);
+        }
+        h.write_u64(self.mem.l2_latency);
+        h.write_u64(self.mem.mem_latency);
+        h.write_u64(self.mem.l1l2_bus_occupancy);
+        h.write_u64(self.mem.l2mem_bus_occupancy);
+        h.write_u64(self.mem.miss_detect);
+        h.write_usize(self.mem.max_outstanding);
+        h.write_usize(self.dtlb_entries);
+        h.write_u64(ExnMechanism::ALL
+            .iter()
+            .position(|&m| m == self.mechanism)
+            .expect("mechanism listed in ALL") as u64);
+        h.write_bool(self.limits.free_execute_bandwidth);
+        h.write_bool(self.limits.free_window);
+        h.write_bool(self.limits.free_fetch_bandwidth);
+        h.write_bool(self.limits.instant_handler_fetch);
+        h.write_bool(self.emulate_divu);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +295,43 @@ mod tests {
         assert_eq!(c.window, 32);
         assert_eq!(c.fu.int_alu, 2);
         assert!(c.fu.ldst_ports >= 1);
+    }
+
+    #[test]
+    fn digest_is_stable_for_clones_and_distinct_for_variants() {
+        let base = MachineConfig::paper_baseline(ExnMechanism::Multithreaded);
+        assert_eq!(base.digest(), base.clone().digest(), "clones digest identically");
+
+        // Every single-field variation must produce a distinct digest.
+        let variants: Vec<MachineConfig> = vec![
+            base.clone().with_threads(4),
+            base.clone().with_pipe_depth(11),
+            base.clone().with_width_window(4, 64),
+            base.clone()
+                .with_limits(LimitKnobs { free_window: true, ..Default::default() }),
+            base.clone().with_emulated_divu(),
+            MachineConfig::paper_baseline(ExnMechanism::Traditional),
+            MachineConfig::paper_baseline(ExnMechanism::PerfectTlb),
+            {
+                let mut c = base.clone();
+                c.dtlb_entries = 128;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.mem.mem_latency = 100;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.fetch_buffer = 16;
+                c
+            },
+        ];
+        let mut digests: Vec<u64> = variants.iter().map(MachineConfig::digest).collect();
+        digests.push(base.digest());
+        let unique: std::collections::BTreeSet<_> = digests.iter().copied().collect();
+        assert_eq!(unique.len(), digests.len(), "all digests distinct: {digests:?}");
     }
 
     #[test]

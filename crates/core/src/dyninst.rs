@@ -173,6 +173,12 @@ impl DynInst {
     }
 }
 
+/// The source-operand slots of an instruction: at most two positional
+/// `(class, index)` pairs, with unused slots `None`. A fixed array rather
+/// than a `Vec` — rename runs once per decoded instruction, and this keeps
+/// it allocation-free.
+pub type SrcOperands = [Option<(RegClass, u8)>; 2];
+
 /// The register operands an instruction reads and writes, as
 /// `(class, index)` pairs. PAL-mode instructions see the shadow integer
 /// file.
@@ -182,46 +188,45 @@ impl DynInst {
 /// them to the constant 0). Writes to zero registers are dropped (`dest`
 /// becomes `None`).
 #[must_use]
-pub fn operands(inst: &Inst, pal: bool) -> (Vec<(RegClass, u8)>, Option<(RegClass, u8)>) {
+pub fn operands(inst: &Inst, pal: bool) -> (SrcOperands, Option<(RegClass, u8)>) {
     use Op::*;
     let int = if pal { RegClass::Shadow } else { RegClass::Int };
-    let (srcs, dest): (Vec<(RegClass, u8)>, Option<(RegClass, u8)>) = match inst.op {
+    let (srcs, dest): (SrcOperands, Option<(RegClass, u8)>) = match inst.op {
         Add | Sub | Mul | Divu | And | Or | Xor | Sll | Srl | Sra | Cmpeq | Cmplt | Cmple
-        | Cmpult => (vec![(int, inst.ra), (int, inst.rb)], Some((int, inst.rc))),
-        Addi | Andi | Ori | Xori | Slli | Srli | Srai | Cmpeqi | Cmplti | Shlori => {
-            (vec![(int, inst.ra)], Some((int, inst.rb)))
+        | Cmpult => {
+            ([Some((int, inst.ra)), Some((int, inst.rb))], Some((int, inst.rc)))
         }
-        Ldi => (vec![], Some((int, inst.rb))),
+        Addi | Andi | Ori | Xori | Slli | Srli | Srai | Cmpeqi | Cmplti | Shlori => {
+            ([Some((int, inst.ra)), None], Some((int, inst.rb)))
+        }
+        Ldi => ([None, None], Some((int, inst.rb))),
         Fadd | Fsub | Fmul | Fdiv => (
-            vec![(RegClass::Fp, inst.ra), (RegClass::Fp, inst.rb)],
+            [Some((RegClass::Fp, inst.ra)), Some((RegClass::Fp, inst.rb))],
             Some((RegClass::Fp, inst.rc)),
         ),
-        Fsqrt => (vec![(RegClass::Fp, inst.ra)], Some((RegClass::Fp, inst.rc))),
+        Fsqrt => ([Some((RegClass::Fp, inst.ra)), None], Some((RegClass::Fp, inst.rc))),
         Fcmpeq | Fcmplt => (
-            vec![(RegClass::Fp, inst.ra), (RegClass::Fp, inst.rb)],
+            [Some((RegClass::Fp, inst.ra)), Some((RegClass::Fp, inst.rb))],
             Some((int, inst.rc)),
         ),
-        Itof => (vec![(int, inst.ra)], Some((RegClass::Fp, inst.rc))),
-        Ftoi => (vec![(RegClass::Fp, inst.ra)], Some((int, inst.rc))),
-        Ldq => (vec![(int, inst.ra)], Some((int, inst.rb))),
-        Fldq => (vec![(int, inst.ra)], Some((RegClass::Fp, inst.rb))),
-        Stq => (vec![(int, inst.ra), (int, inst.rb)], None),
-        Fstq => (vec![(int, inst.ra), (RegClass::Fp, inst.rb)], None),
-        Beq | Bne | Blt | Bge | Bgt | Ble => (vec![(int, inst.ra)], None),
-        Br => (vec![], None),
-        Jal => (vec![], Some((int, inst.ra))),
-        Jr => (vec![(int, inst.rb)], None),
-        Jalr => (vec![(int, inst.rb)], Some((int, inst.ra))),
-        Ret => (vec![(int, inst.ra)], None),
-        Mfpr => (
-            vec![(RegClass::Priv, inst.imm as u8)],
-            Some((int, inst.rb)),
-        ),
-        Mtpr => (vec![(int, inst.rb)], Some((RegClass::Priv, inst.imm as u8))),
-        Mtdst => (vec![(int, inst.rb)], None),
-        Tlbwr => (vec![(int, inst.ra), (int, inst.rb)], None),
-        Rfe => (vec![(RegClass::Priv, PrivReg::ExcPc.index() as u8)], None),
-        Hardexc | Nop | Halt => (vec![], None),
+        Itof => ([Some((int, inst.ra)), None], Some((RegClass::Fp, inst.rc))),
+        Ftoi => ([Some((RegClass::Fp, inst.ra)), None], Some((int, inst.rc))),
+        Ldq => ([Some((int, inst.ra)), None], Some((int, inst.rb))),
+        Fldq => ([Some((int, inst.ra)), None], Some((RegClass::Fp, inst.rb))),
+        Stq => ([Some((int, inst.ra)), Some((int, inst.rb))], None),
+        Fstq => ([Some((int, inst.ra)), Some((RegClass::Fp, inst.rb))], None),
+        Beq | Bne | Blt | Bge | Bgt | Ble => ([Some((int, inst.ra)), None], None),
+        Br => ([None, None], None),
+        Jal => ([None, None], Some((int, inst.ra))),
+        Jr => ([Some((int, inst.rb)), None], None),
+        Jalr => ([Some((int, inst.rb)), None], Some((int, inst.ra))),
+        Ret => ([Some((int, inst.ra)), None], None),
+        Mfpr => ([Some((RegClass::Priv, inst.imm as u8)), None], Some((int, inst.rb))),
+        Mtpr => ([Some((int, inst.rb)), None], Some((RegClass::Priv, inst.imm as u8))),
+        Mtdst => ([Some((int, inst.rb)), None], None),
+        Tlbwr => ([Some((int, inst.ra)), Some((int, inst.rb))], None),
+        Rfe => ([Some((RegClass::Priv, PrivReg::ExcPc.index() as u8)), None], None),
+        Hardexc | Nop | Halt => ([None, None], None),
     };
     // Writes to the hardwired zero registers are discarded.
     let dest = dest.filter(
@@ -238,10 +243,10 @@ mod tests {
     fn pal_mode_uses_shadow_registers() {
         let inst = Inst::r(Op::Add, 1, 2, 3);
         let (srcs, dest) = operands(&inst, true);
-        assert_eq!(srcs, vec![(RegClass::Shadow, 1), (RegClass::Shadow, 2)]);
+        assert_eq!(srcs, [Some((RegClass::Shadow, 1)), Some((RegClass::Shadow, 2))]);
         assert_eq!(dest, Some((RegClass::Shadow, 3)));
         let (srcs_u, dest_u) = operands(&inst, false);
-        assert_eq!(srcs_u, vec![(RegClass::Int, 1), (RegClass::Int, 2)]);
+        assert_eq!(srcs_u, [Some((RegClass::Int, 1)), Some((RegClass::Int, 2))]);
         assert_eq!(dest_u, Some((RegClass::Int, 3)));
     }
 
@@ -249,29 +254,29 @@ mod tests {
     fn zero_register_destinations_are_dropped_but_sources_stay_positional() {
         let inst = Inst::r(Op::Add, 31, 2, 31);
         let (srcs, dest) = operands(&inst, false);
-        assert_eq!(srcs, vec![(RegClass::Int, 31), (RegClass::Int, 2)]);
+        assert_eq!(srcs, [Some((RegClass::Int, 31)), Some((RegClass::Int, 2))]);
         assert_eq!(dest, None);
     }
 
     #[test]
     fn stores_read_base_and_data() {
         let (srcs, dest) = operands(&Inst::i(Op::Stq, 4, 5, 8), false);
-        assert_eq!(srcs, vec![(RegClass::Int, 4), (RegClass::Int, 5)]);
+        assert_eq!(srcs, [Some((RegClass::Int, 4)), Some((RegClass::Int, 5))]);
         assert_eq!(dest, None);
         let (fsrcs, _) = operands(&Inst::i(Op::Fstq, 4, 5, 8), false);
-        assert_eq!(fsrcs, vec![(RegClass::Int, 4), (RegClass::Fp, 5)]);
+        assert_eq!(fsrcs, [Some((RegClass::Int, 4)), Some((RegClass::Fp, 5))]);
     }
 
     #[test]
     fn privileged_operands() {
         let (srcs, dest) = operands(&Inst::i(Op::Mfpr, 0, 3, 0), true);
-        assert_eq!(srcs, vec![(RegClass::Priv, 0)]);
+        assert_eq!(srcs, [Some((RegClass::Priv, 0)), None]);
         assert_eq!(dest, Some((RegClass::Shadow, 3)));
         let (srcs, dest) = operands(&Inst::i(Op::Mtpr, 0, 3, 4), true);
-        assert_eq!(srcs, vec![(RegClass::Shadow, 3)]);
+        assert_eq!(srcs, [Some((RegClass::Shadow, 3)), None]);
         assert_eq!(dest, Some((RegClass::Priv, 4)));
         let (srcs, dest) = operands(&Inst::n(Op::Rfe), true);
-        assert_eq!(srcs, vec![(RegClass::Priv, PrivReg::ExcPc.index() as u8)]);
+        assert_eq!(srcs, [Some((RegClass::Priv, PrivReg::ExcPc.index() as u8)), None]);
         assert_eq!(dest, None);
     }
 

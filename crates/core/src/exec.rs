@@ -19,13 +19,7 @@ pub fn int_rr(op: Op, a: u64, b: u64) -> u64 {
         Op::Add => a.wrapping_add(b),
         Op::Sub => a.wrapping_sub(b),
         Op::Mul => a.wrapping_mul(b),
-        Op::Divu => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
+        Op::Divu => a.checked_div(b).unwrap_or(0),
         Op::And => a & b,
         Op::Or => a | b,
         Op::Xor => a ^ b,

@@ -85,18 +85,27 @@ impl Machine {
             }
         }
 
-        // Oldest fetched first, across all threads (paper Table 1).
-        let candidates: Vec<u64> = self
-            .window
-            .iter()
-            .filter(|(_, i)| {
-                !i.issued && !i.done && i.waiting_tlb.is_none() && i.earliest_issue <= now
-            })
-            .map(|(&s, _)| s)
-            .collect();
+        // Oldest fetched first, across all threads (paper Table 1). The
+        // window is an unordered map, so collect the (typically short) list
+        // of issuable candidates into the reusable scratch buffer and sort
+        // it — same order a sorted-map walk would produce.
+        let mut candidates = std::mem::take(&mut self.scratch_seqs);
+        candidates.clear();
+        // `srcs_ready` can only change at rename or completion time, never
+        // mid-issue-phase, so filtering here (before the sort) keeps the
+        // candidate list short without changing which instructions issue.
+        candidates.extend(self.window.iter().filter_map(|(&s, i)| {
+            (!i.issued
+                && !i.done
+                && i.waiting_tlb.is_none()
+                && i.earliest_issue <= now
+                && i.srcs_ready())
+            .then_some(s)
+        }));
+        candidates.sort_unstable();
 
         let scan_all = self.config.limits.free_execute_bandwidth;
-        for seq in candidates {
+        for &seq in &candidates {
             // Once the issue width is exhausted nothing further can issue
             // (unless handler instructions execute for free).
             if fu.width == 0 && !scan_all {
@@ -120,6 +129,7 @@ impl Machine {
             }
             self.execute_one(seq, now);
         }
+        self.scratch_seqs = candidates;
     }
 
     /// Non-resource issue preconditions: conservative memory
@@ -230,7 +240,7 @@ impl Machine {
 
             // ---- memory ----
             Ldq | Fldq => self.execute_load(seq, tid, pal, v0, imm, now),
-            Stq | Fstq => self.execute_store(seq, tid, pal, v0, v1, imm, now),
+            Stq | Fstq => self.execute_store(seq, tid, pal, imm, now),
         }
     }
 
@@ -303,16 +313,11 @@ impl Machine {
         self.finish_exec(seq, value, now, latency);
     }
 
-    fn execute_store(
-        &mut self,
-        seq: u64,
-        tid: usize,
-        pal: bool,
-        base: u64,
-        data: u64,
-        imm: i32,
-        now: u64,
-    ) {
+    fn execute_store(&mut self, seq: u64, tid: usize, pal: bool, imm: i32, now: u64) {
+        let (base, data) = {
+            let i = &self.window[&seq];
+            (i.src_value(0), i.src_value(1))
+        };
         let va = exec::align8(exec::effective_addr(base, imm));
         let pa = match self.translate(tid, pal, va) {
             Xlate::Hit(pa) => Some(pa),
@@ -576,18 +581,14 @@ impl Machine {
         }
 
         match inst.inst.op {
-            Op::Tlbwr => {
-                // `result` carries the fill tag (set at completion).
-                if !self.threads[tid].is_handler() {
-                    self.dtlb.commit(inst.result);
-                    self.stats.fills_committed += 1;
-                }
-                // Handler-thread fills commit when the handler releases.
+            // `result` carries the fill tag (set at completion).
+            // Handler-thread fills commit when the handler releases.
+            Op::Tlbwr if !self.threads[tid].is_handler() => {
+                self.dtlb.commit(inst.result);
+                self.stats.fills_committed += 1;
             }
-            Op::Rfe => {
-                if self.threads[tid].is_handler() {
-                    self.release_handler(tid, true);
-                }
+            Op::Rfe if self.threads[tid].is_handler() => {
+                self.release_handler(tid, true);
             }
             Op::Halt => {
                 self.count_retired(tid, &inst, now);

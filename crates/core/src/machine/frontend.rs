@@ -31,22 +31,23 @@ impl Machine {
     }
 
     pub(crate) fn fetch_phase(&mut self, now: u64) {
-        let mut set: Vec<usize> = Vec::new();
-        if let Some(chosen) = self.choose_fetch_thread(now) {
-            set.push(chosen);
+        let chosen = self.choose_fetch_thread(now);
+        if let Some(tid) = chosen {
+            self.fetch_thread(tid, now);
         }
         if self.config.limits.free_fetch_bandwidth {
             // Limit study: handler threads fetch in addition to the chosen
-            // thread, consuming no front-end bandwidth.
+            // thread, consuming no front-end bandwidth. Fetching one thread
+            // never changes another's fetchability, so this matches the
+            // old build-a-set-then-fetch order exactly.
             for tid in 0..self.threads.len() {
-                if self.threads[tid].is_handler() && self.fetchable(tid, now) && !set.contains(&tid)
+                if Some(tid) != chosen
+                    && self.threads[tid].is_handler()
+                    && self.fetchable(tid, now)
                 {
-                    set.push(tid);
+                    self.fetch_thread(tid, now);
                 }
             }
-        }
-        for tid in set {
-            self.fetch_thread(tid, now);
         }
     }
 
@@ -249,14 +250,16 @@ impl Machine {
 
         // Decode order: handler threads first (their instructions must
         // retire before everything younger), then ICOUNT order.
-        let mut order: Vec<usize> = (0..self.threads.len()).collect();
+        let mut order = std::mem::take(&mut self.scratch_order);
+        order.clear();
+        order.extend(0..self.threads.len());
         order.sort_by_key(|&tid| {
             let t = &self.threads[tid];
             (!t.is_handler(), t.inflight(), tid)
         });
 
         let mut budget = self.config.width;
-        for tid in order {
+        for &tid in &order {
             loop {
                 let free = self.config.limits.free_fetch_bandwidth && self.threads[tid].is_handler();
                 if budget == 0 && !free {
@@ -276,6 +279,7 @@ impl Machine {
                 }
             }
         }
+        self.scratch_order = order;
     }
 
     /// Window-insertion admission control, including the paper's §4.4
@@ -332,9 +336,9 @@ impl Machine {
     pub(crate) fn insert_window_at(&mut self, tid: usize, fe: &FrontEndInst, earliest_issue: u64) {
         let mut di = DynInst::from_frontend(fe, tid, earliest_issue);
         let (srcs, dest) = operands(&fe.inst, fe.pal);
-        debug_assert!(srcs.len() <= 2, "at most two source operands");
-        for (slot, &(class, idx)) in srcs.iter().enumerate() {
+        for (slot, src) in srcs.iter().enumerate() {
             use crate::dyninst::RegClass;
+            let Some((class, idx)) = *src else { continue };
             let is_zero_reg =
                 matches!(class, RegClass::Int | RegClass::Shadow | RegClass::Fp) && idx == 31;
             if is_zero_reg {

@@ -10,10 +10,11 @@ mod backend;
 mod exn;
 mod frontend;
 
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::cmp::Reverse;
 
 use smtx_isa::Program;
+use smtx_util::FastHashMap;
 use smtx_mem::{AddressSpace, Asid, MemorySystem, PhysAlloc, PhysMem, Tlb, PAGE_SIZE};
 
 use crate::config::MachineConfig;
@@ -86,16 +87,20 @@ pub struct Machine {
     pub(crate) dtlb: Tlb,
     pub(crate) threads: Vec<ThreadContext>,
     pub(crate) spaces: Vec<AddressSpace>,
-    pub(crate) window: BTreeMap<u64, DynInst>,
+    /// The centralized instruction window, keyed by sequence number. A hash
+    /// map, not an ordered map: every per-seq probe is O(1), and the one
+    /// consumer that needs fetch order (the issue scan) sorts its candidate
+    /// list, so simulated behavior is identical to an ordered walk.
+    pub(crate) window: FastHashMap<u64, DynInst>,
     /// Handler-thread instructions currently in the window (for the
     /// free-window limit knob).
     pub(crate) handler_insts_in_window: usize,
     /// producer seq → (consumer seq, operand slot).
-    pub(crate) consumers: HashMap<u64, Vec<(u64, usize)>>,
+    pub(crate) consumers: FastHashMap<u64, Vec<(u64, usize)>>,
     /// Completion events: (cycle, seq).
     pub(crate) events: BinaryHeap<Reverse<(u64, u64)>>,
     /// Loads/stores waiting on a TLB fill, by (asid, vpn).
-    pub(crate) waiters: HashMap<(Asid, u64), Vec<u64>>,
+    pub(crate) waiters: FastHashMap<(Asid, u64), Vec<u64>>,
     pub(crate) handlers: Vec<ActiveHandler>,
     pub(crate) walks: Vec<Walk>,
     pub(crate) pal_base: u64,
@@ -104,6 +109,11 @@ pub struct Machine {
     pub(crate) emul_len: usize,
     pub(crate) stats: Stats,
     pub(crate) retire_log: Option<Vec<RetireEvent>>,
+    /// Reused per-cycle scratch for the issue scan's candidate list (avoids
+    /// one allocation per simulated cycle).
+    pub(crate) scratch_seqs: Vec<u64>,
+    /// Reused per-cycle scratch for the decode-order thread list.
+    pub(crate) scratch_order: Vec<usize>,
 }
 
 /// One entry of the optional retirement trace (see
@@ -141,11 +151,11 @@ impl Machine {
             pm: PhysMem::new(),
             alloc: PhysAlloc::new(),
             spaces: Vec::new(),
-            window: BTreeMap::new(),
+            window: FastHashMap::default(),
             handler_insts_in_window: 0,
-            consumers: HashMap::new(),
+            consumers: FastHashMap::default(),
             events: BinaryHeap::new(),
-            waiters: HashMap::new(),
+            waiters: FastHashMap::default(),
             handlers: Vec::new(),
             walks: Vec::new(),
             pal_base: 0,
@@ -153,6 +163,8 @@ impl Machine {
             emul_base: 0,
             emul_len: 0,
             retire_log: None,
+            scratch_seqs: Vec::new(),
+            scratch_order: Vec::new(),
         }
     }
 
@@ -471,8 +483,7 @@ impl Machine {
 
         // Window entries, youngest first, restoring rename state.
         let mut released_handlers: Vec<usize> = Vec::new();
-        loop {
-            let Some(&back) = self.threads[tid].rob.back() else { break };
+        while let Some(&back) = self.threads[tid].rob.back() {
             if back < from_seq {
                 break;
             }

@@ -16,7 +16,7 @@ pub struct ThreadStats {
 }
 
 /// Whole-machine counters for one simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Cycles simulated.
     pub cycles: u64,

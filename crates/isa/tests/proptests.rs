@@ -1,66 +1,99 @@
-//! Property-based tests for the ISA encoding and the assembler.
+//! Randomized tests for the ISA encoding and the assembler: a seeded
+//! generator sweeps the instruction space; failures report the exact
+//! instruction or word so they replay deterministically.
 
-use proptest::prelude::*;
 use smtx_isa::{Inst, Op, OpFormat, ProgramBuilder, Reg};
+use smtx_rng::rngs::StdRng;
+use smtx_rng::{RngExt, SeedableRng};
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    (0u8..=255).prop_filter_map("valid opcode", Op::from_opcode)
-}
-
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    (arb_op(), 0u8..32, 0u8..32, 0u8..32, -(1i32 << 18)..(1i32 << 18)).prop_map(
-        |(op, ra, rb, rc, imm)| match op.format() {
-            OpFormat::R => Inst::r(op, ra, rb, rc),
-            OpFormat::I => Inst::i(op, ra, rb, imm.clamp(-(1 << 13), (1 << 13) - 1)),
-            OpFormat::B => Inst::b(op, ra, imm),
-            OpFormat::N => Inst::n(op),
-        },
-    )
-}
-
-proptest! {
-    /// Any well-formed instruction encodes and decodes back to itself.
-    #[test]
-    fn encode_decode_round_trip(inst in arb_inst()) {
-        let word = inst.encode().expect("in-range operands encode");
-        prop_assert_eq!(Inst::decode(word).expect("decodes"), inst);
-    }
-
-    /// Decoding any 32-bit word either fails or re-encodes to an equivalent
-    /// canonical word that decodes to the same instruction (decode is a
-    /// projection onto the valid-instruction space).
-    #[test]
-    fn decode_is_a_projection(word in any::<u32>()) {
-        if let Ok(inst) = Inst::decode(word) {
-            let canon = inst.encode().expect("decoded instructions re-encode");
-            prop_assert_eq!(Inst::decode(canon).expect("canonical decodes"), inst);
+fn random_op(rng: &mut StdRng) -> Op {
+    loop {
+        if let Some(op) = Op::from_opcode(rng.random::<u8>()) {
+            return op;
         }
     }
+}
 
-    /// `li` emits at most 6 instructions and the expansion, interpreted
-    /// sequentially, reproduces the constant exactly.
-    #[test]
-    fn li_is_exact(value in any::<u64>()) {
+fn random_inst(rng: &mut StdRng) -> Inst {
+    let op = random_op(rng);
+    let ra = rng.random_range(0u8..32);
+    let rb = rng.random_range(0u8..32);
+    let rc = rng.random_range(0u8..32);
+    let imm = rng.random_range(-(1i32 << 18)..(1i32 << 18));
+    match op.format() {
+        OpFormat::R => Inst::r(op, ra, rb, rc),
+        OpFormat::I => Inst::i(op, ra, rb, imm.clamp(-(1 << 13), (1 << 13) - 1)),
+        OpFormat::B => Inst::b(op, ra, imm),
+        OpFormat::N => Inst::n(op),
+    }
+}
+
+/// Any well-formed instruction encodes and decodes back to itself.
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x15a_0001);
+    for _ in 0..4_000 {
+        let inst = random_inst(&mut rng);
+        let word = inst.encode().expect("in-range operands encode");
+        assert_eq!(Inst::decode(word).expect("decodes"), inst, "inst {inst}");
+    }
+}
+
+/// Decoding any 32-bit word either fails or re-encodes to an equivalent
+/// canonical word that decodes to the same instruction (decode is a
+/// projection onto the valid-instruction space).
+#[test]
+fn decode_is_a_projection() {
+    let mut rng = StdRng::seed_from_u64(0x15a_0002);
+    for _ in 0..8_000 {
+        let word: u32 = rng.random();
+        if let Ok(inst) = Inst::decode(word) {
+            let canon = inst.encode().expect("decoded instructions re-encode");
+            assert_eq!(
+                Inst::decode(canon).expect("canonical decodes"),
+                inst,
+                "word {word:#010x}"
+            );
+        }
+    }
+}
+
+/// `li` emits at most 6 instructions and the expansion, interpreted
+/// sequentially, reproduces the constant exactly.
+#[test]
+fn li_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0x15a_0003);
+    let edge_cases = [0, 1, u64::MAX, 1 << 13, 1 << 63, (1 << 13) - 1, !0 << 14];
+    let random_values = (0..2_000).map(|_| rng.random::<u64>()).collect::<Vec<_>>();
+    for value in edge_cases.into_iter().chain(random_values) {
         let mut b = ProgramBuilder::new();
         b.li(Reg(3), value);
         let p = b.build().expect("builds");
-        prop_assert!(p.len() >= 1 && p.len() <= 6);
+        assert!((1..=6).contains(&p.len()), "value {value:#x}: len {}", p.len());
         let mut acc: u64 = 0;
         for (_, inst) in p.iter() {
             match inst.op {
                 Op::Ldi => acc = inst.imm as i64 as u64,
                 Op::Shlori => acc = (acc << 14) | (inst.imm as u32 as u64 & 0x3fff),
-                other => prop_assert!(false, "unexpected op {other}"),
+                other => panic!("unexpected op {other} expanding li {value:#x}"),
             }
         }
-        prop_assert_eq!(acc, value);
+        assert_eq!(acc, value, "li expansion wrong for {value:#x}");
     }
+}
 
-    /// Every disassembled instruction is non-empty and starts with its
-    /// mnemonic.
-    #[test]
-    fn disassembly_leads_with_mnemonic(inst in arb_inst()) {
+/// Every disassembled instruction is non-empty and starts with its
+/// mnemonic.
+#[test]
+fn disassembly_leads_with_mnemonic() {
+    let mut rng = StdRng::seed_from_u64(0x15a_0004);
+    for _ in 0..4_000 {
+        let inst = random_inst(&mut rng);
         let text = inst.to_string();
-        prop_assert!(text.starts_with(inst.op.mnemonic()));
+        assert!(
+            text.starts_with(inst.op.mnemonic()),
+            "disassembly {text:?} does not lead with {:?}",
+            inst.op.mnemonic()
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! for a memory access (3 of which are the load port's own latency, modelled
 //! by the pipeline).
 
-use std::collections::HashMap;
+use smtx_util::FastHashMap;
 
 use crate::cache::{Cache, CacheGeometry};
 use crate::Paddr;
@@ -94,8 +94,10 @@ pub struct MemorySystem {
     l2: Cache,
     l1l2_bus_free: u64,
     l2mem_bus_free: u64,
-    /// In-flight fills keyed by (port, L1 line address) → fill-complete cycle.
-    inflight: HashMap<(Port, Paddr), u64>,
+    /// In-flight fills keyed by (port, L1 line address) → fill-complete
+    /// cycle. Only keyed probes and order-insensitive scans (`retain`,
+    /// `min`) touch it, so a fast non-SipHash map is behaviorally safe.
+    inflight: FastHashMap<(Port, Paddr), u64>,
     mem_accesses: u64,
     mshr_merges: u64,
     mshr_stalls: u64,
@@ -112,7 +114,7 @@ impl MemorySystem {
             l2: Cache::new(config.l2),
             l1l2_bus_free: 0,
             l2mem_bus_free: 0,
-            inflight: HashMap::new(),
+            inflight: FastHashMap::default(),
             mem_accesses: 0,
             mshr_merges: 0,
             mshr_stalls: 0,

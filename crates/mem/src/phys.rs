@@ -1,13 +1,17 @@
 //! Sparse physical memory and a bump frame allocator.
 
-use std::collections::HashMap;
-
 use crate::{Paddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 
 /// Simulated physical memory, allocated lazily one page frame at a time.
 ///
 /// Reads of never-written memory return zero, which keeps simulations
 /// deterministic without pre-allocating the whole physical address space.
+///
+/// Frames come from [`crate::PhysAlloc`]'s bump allocator, so resident
+/// frame numbers are small and dense — pages live in a `Vec` indexed by
+/// frame number, making every access a bounds check plus an array index
+/// instead of a hash lookup (this is on the fetch/load/store fast path of
+/// every simulated cycle).
 ///
 /// ```
 /// use smtx_mem::PhysMem;
@@ -18,7 +22,8 @@ use crate::{Paddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PhysMem {
-    pages: HashMap<u64, Box<[u8]>>,
+    /// `pages[frame]` is the frame's backing store, `None` if untouched.
+    pages: Vec<Option<Box<[u8]>>>,
 }
 
 impl PhysMem {
@@ -29,13 +34,19 @@ impl PhysMem {
     }
 
     fn page(&self, pa: Paddr) -> Option<&[u8]> {
-        self.pages.get(&(pa >> PAGE_SHIFT)).map(|p| &p[..])
+        match self.pages.get((pa >> PAGE_SHIFT) as usize) {
+            Some(Some(p)) => Some(&p[..]),
+            _ => None,
+        }
     }
 
     fn page_mut(&mut self, pa: Paddr) -> &mut [u8] {
-        self.pages
-            .entry(pa >> PAGE_SHIFT)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        let frame = (pa >> PAGE_SHIFT) as usize;
+        if frame >= self.pages.len() {
+            self.pages.resize(frame + 1, None);
+        }
+        self.pages[frame]
+            .get_or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
     }
 
     /// Reads an aligned 64-bit word.
@@ -97,25 +108,24 @@ impl PhysMem {
     /// Number of frames that have been touched by writes.
     #[must_use]
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.pages.iter().filter(|p| p.is_some()).count()
     }
 
     /// A deterministic FNV-1a hash of all resident frames (frame number and
     /// contents), usable to compare memory images in differential tests.
     #[must_use]
     pub fn content_hash(&self) -> u64 {
-        let mut frames: Vec<u64> = self.pages.keys().copied().collect();
-        frames.sort_unstable();
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |byte: u8| {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         };
-        for frame in frames {
-            for byte in frame.to_le_bytes() {
+        for (frame, page) in self.pages.iter().enumerate() {
+            let Some(page) = page else { continue };
+            for byte in (frame as u64).to_le_bytes() {
                 mix(byte);
             }
-            for &byte in self.pages[&frame].iter() {
+            for &byte in page.iter() {
                 mix(byte);
             }
         }

@@ -1,10 +1,12 @@
-//! Property-based tests: the TLB and cache tag arrays against naive
-//! reference models, and paging invariants under random mapping sequences.
+//! Randomized tests: the TLB and cache tag arrays against naive reference
+//! models, and paging invariants under random mapping sequences. A seeded
+//! generator makes every case replayable from its case index.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
-use proptest::prelude::*;
 use smtx_mem::{AddressSpace, Cache, CacheGeometry, PhysAlloc, PhysMem, Tlb, PAGE_SIZE};
+use smtx_rng::rngs::StdRng;
+use smtx_rng::{RngExt, SeedableRng};
 
 /// A trivially-correct fully-associative LRU model.
 struct RefLru {
@@ -34,63 +36,57 @@ impl RefLru {
     }
 }
 
-#[derive(Debug, Clone)]
-enum TlbOp {
-    Lookup(u64),
-    Insert(u64),
-}
-
-fn arb_tlb_ops() -> impl Strategy<Value = Vec<TlbOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..40).prop_map(TlbOp::Lookup),
-            (0u64..40).prop_map(TlbOp::Insert),
-        ],
-        1..200,
-    )
-}
-
-proptest! {
-    /// The TLB behaves exactly like a fully-associative LRU map — lookups
-    /// refresh recency, inserts evict the least recent.
-    #[test]
-    fn tlb_matches_reference_lru(ops in arb_tlb_ops()) {
+/// The TLB behaves exactly like a fully-associative LRU map — lookups
+/// refresh recency, inserts evict the least recent.
+#[test]
+fn tlb_matches_reference_lru() {
+    let mut rng = StdRng::seed_from_u64(0x3e3_0001);
+    for case in 0..128 {
         let mut tlb = Tlb::new(8);
         let mut reference = RefLru::new(8);
-        for op in ops {
-            match op {
-                TlbOp::Lookup(vpn) => {
-                    prop_assert_eq!(tlb.lookup(1, vpn), reference.lookup(vpn).map(|_| vpn << 13));
-                }
-                TlbOp::Insert(vpn) => {
-                    tlb.insert(1, vpn, vpn << 13, None);
-                    reference.insert(vpn, vpn << 13);
-                }
+        let ops = rng.random_range(1usize..200);
+        for _ in 0..ops {
+            let vpn = rng.random_range(0u64..40);
+            if rng.random_bool(0.5) {
+                assert_eq!(
+                    tlb.lookup(1, vpn),
+                    reference.lookup(vpn).map(|_| vpn << 13),
+                    "case {case} lookup vpn {vpn}"
+                );
+            } else {
+                tlb.insert(1, vpn, vpn << 13, None);
+                reference.insert(vpn, vpn << 13);
             }
         }
     }
+}
 
-    /// A direct-mapped cache behaves exactly like a per-set last-tag
-    /// model.
-    #[test]
-    fn direct_mapped_cache_matches_reference(addrs in prop::collection::vec(0u64..4096, 1..300)) {
+/// A direct-mapped cache behaves exactly like a per-set last-tag model.
+#[test]
+fn direct_mapped_cache_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x3e3_0002);
+    for case in 0..128 {
         let geometry = CacheGeometry { size: 256, assoc: 1, line: 32 };
         let mut cache = Cache::new(geometry);
         let sets = geometry.sets();
         let mut model: HashMap<u64, u64> = HashMap::new(); // set -> tag
-        for addr in addrs {
+        let accesses = rng.random_range(1usize..300);
+        for _ in 0..accesses {
+            let addr = rng.random_range(0u64..4096);
             let line = addr / 32;
             let (set, tag) = (line % sets, line / sets);
             let expect_hit = model.get(&set) == Some(&tag);
-            prop_assert_eq!(cache.access(addr), expect_hit, "addr {:#x}", addr);
+            assert_eq!(cache.access(addr), expect_hit, "case {case} addr {addr:#x}");
             model.insert(set, tag);
         }
     }
+}
 
-    /// Set-associative caches never evict within-capacity working sets: a
-    /// working set of `assoc` lines per set always hits after warmup.
-    #[test]
-    fn assoc_cache_holds_its_ways(base in 0u64..64) {
+/// Set-associative caches never evict within-capacity working sets: a
+/// working set of `assoc` lines per set always hits after warmup.
+#[test]
+fn assoc_cache_holds_its_ways() {
+    for base in 0u64..64 {
         let geometry = CacheGeometry { size: 512, assoc: 4, line: 32 };
         let mut cache = Cache::new(geometry);
         let sets = geometry.sets();
@@ -100,14 +96,22 @@ proptest! {
             let _ = cache.access(a);
         }
         for &a in &addrs {
-            prop_assert!(cache.access(a), "working set of assoc lines must fit");
+            assert!(cache.access(a), "base {base}: working set of assoc lines must fit");
         }
     }
+}
 
-    /// translate() inverts map() for arbitrary page sets, and unmapped
-    /// neighbours stay unmapped.
-    #[test]
-    fn paging_round_trips(vpns in prop::collection::btree_set(0u64..10_000, 1..40)) {
+/// translate() inverts map() for arbitrary page sets, and unmapped
+/// neighbours stay unmapped.
+#[test]
+fn paging_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0x3e3_0003);
+    for case in 0..64 {
+        let count = rng.random_range(1usize..40);
+        let mut vpns = BTreeSet::new();
+        while vpns.len() < count {
+            vpns.insert(rng.random_range(0u64..10_000));
+        }
         let mut pm = PhysMem::new();
         let mut alloc = PhysAlloc::new();
         let mut space = AddressSpace::new(9, &mut pm, &mut alloc);
@@ -119,29 +123,38 @@ proptest! {
         }
         for (vpn, frame) in frames {
             let va = vpn * PAGE_SIZE + 128;
-            prop_assert_eq!(space.translate(&pm, va).unwrap(), frame + 128);
+            assert_eq!(
+                space.translate(&pm, va).unwrap(),
+                frame + 128,
+                "case {case} vpn {vpn}"
+            );
             let neighbour = (vpn + 10_001) * PAGE_SIZE;
-            prop_assert!(space.translate(&pm, neighbour).is_err());
+            assert!(space.translate(&pm, neighbour).is_err(), "case {case} vpn {vpn}");
         }
-        prop_assert_eq!(space.mapped_page_count(), vpns.len());
+        assert_eq!(space.mapped_page_count(), vpns.len(), "case {case}");
     }
+}
 
-    /// Memory-system timing is sane for any address pattern: extra delay
-    /// is bounded by the worst cold-miss path plus bus queueing, and a
-    /// second access to the same line after the fill is free.
-    #[test]
-    fn hierarchy_timing_bounds(addrs in prop::collection::vec(0u64..(1 << 24), 1..100)) {
+/// Memory-system timing is sane for any address pattern: extra delay is
+/// bounded by the worst cold-miss path plus bus queueing, and a second
+/// access to the same line after the fill is free.
+#[test]
+fn hierarchy_timing_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x3e3_0004);
+    for case in 0..64 {
         let mut mem = smtx_mem::MemorySystem::paper_baseline();
         let mut now = 0u64;
-        for addr in addrs {
-            let extra = mem.access_data(addr & !7, now);
+        let accesses = rng.random_range(1usize..100);
+        for _ in 0..accesses {
+            let addr = rng.random_range(0u64..(1 << 24)) & !7;
+            let extra = mem.access_data(addr, now);
             // 101 is the cold-miss cost; because `now` advances past each
             // fill, residual bus queueing adds at most a couple of
             // occupancy windows on top.
-            prop_assert!(extra <= 200, "extra {} at {}", extra, now);
+            assert!(extra <= 200, "case {case}: extra {extra} at {now}");
             now += extra + 1;
-            let again = mem.access_data(addr & !7, now);
-            prop_assert_eq!(again, 0, "line just filled must hit");
+            let again = mem.access_data(addr, now);
+            assert_eq!(again, 0, "case {case}: line just filled must hit");
             now += 1;
         }
     }

@@ -1,0 +1,313 @@
+//! A small, fully deterministic pseudo-random number generator.
+//!
+//! The workloads and the randomized test suites only ever need *seeded,
+//! reproducible* streams — cryptographic quality and OS entropy are
+//! explicitly out of scope. This crate provides a self-contained
+//! xoshiro256++ generator (seeded through splitmix64) behind a `rand`-like
+//! surface: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and the
+//! [`RngExt`] extension trait with `random`, `random_range` and
+//! `random_bool`. Keeping the generator in-tree pins every kernel's memory
+//! image and every random program to the seed alone, independent of any
+//! external crate's algorithm choices.
+//!
+//! ```
+//! use smtx_rng::rngs::StdRng;
+//! use smtx_rng::{RngExt, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let a: u64 = rng.random();
+//! let b = rng.random_range(0..10);
+//! assert!((0..10).contains(&b));
+//! let mut again = StdRng::seed_from_u64(42);
+//! assert_eq!(a, again.random::<u64>());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The raw 64-bit output interface every generator implements.
+pub trait RngCore {
+    /// Produces the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring the `rand::rngs` module layout.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The default generator: xoshiro256++ (Blackman & Vigna), with the
+    /// 256-bit state expanded from the seed by splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // splitmix64 is a bijection over four successive states, so an
+            // all-zero expansion cannot occur; the assert documents the
+            // xoshiro requirement anyway.
+            debug_assert!(s.iter().any(|&w| w != 0));
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a generator's raw bits.
+pub trait Random: Sized {
+    /// Draws one value.
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_uint {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                // Truncation keeps the high-entropy low bits of xoshiro++.
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for bool {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Draws a value uniformly from `[0, span)`; `span == 0` encodes the full
+/// 2^64 range. Rejection sampling keeps the draw exactly uniform.
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Largest multiple of `span` that fits in 2^64; draws at or above it
+    // would bias the low residues and are re-drawn.
+    let rem = (u64::MAX % span).wrapping_add(1) % span;
+    if rem == 0 {
+        return rng.next_u64() % span;
+    }
+    let limit = 0u64.wrapping_sub(rem);
+    loop {
+        let v = rng.next_u64();
+        if v < limit {
+            return v % span;
+        }
+    }
+}
+
+/// Integer types `random_range` can target.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)` (`inclusive == false`) or
+    /// `[low, high]` (`inclusive == true`).
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $t,
+                high: $t,
+                inclusive: bool,
+            ) -> $t {
+                if inclusive {
+                    assert!(low <= high, "random_range: empty inclusive range");
+                } else {
+                    assert!(low < high, "random_range: empty range");
+                }
+                // Work in the unsigned twin: two's-complement offset
+                // arithmetic makes signed ranges a shifted unsigned span.
+                let width = (high as $u).wrapping_sub(low as $u) as u64;
+                let span = if inclusive { width.wrapping_add(1) } else { width };
+                let x = sample_below(rng, span);
+                (low as $u).wrapping_add(x as $u) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// Range expressions accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_range(rng, low, high, true)
+    }
+}
+
+/// Convenience draws, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// Draws uniformly from a (half-open or inclusive) integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.random_range(3..8);
+            assert!((3..8).contains(&v));
+            let w: i32 = rng.random_range(-1000..1000);
+            assert!((-1000..1000).contains(&w));
+            let x: u8 = rng.random_range(1..=8);
+            assert!((1..=8).contains(&x));
+            let y: usize = rng.random_range(0..=0);
+            assert_eq!(y, 0);
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range_works() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..64 {
+            let _: u64 = rng.random_range(0..=u64::MAX);
+            let _: i64 = rng.random_range(i64::MIN..=i64::MAX);
+        }
+    }
+
+    #[test]
+    fn every_range_value_is_reachable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 5 residues drawn: {seen:?}");
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean} far from 1/2");
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _: u32 = rng.random_range(5..5);
+    }
+}

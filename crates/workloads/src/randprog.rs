@@ -6,8 +6,8 @@
 //! match the interpreter's for *every* generated program under *every*
 //! exception mechanism — the strongest correctness property in the suite.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use smtx_rng::rngs::StdRng;
+use smtx_rng::{RngExt, SeedableRng};
 use smtx_isa::{Program, ProgramBuilder, Reg};
 use smtx_mem::{AddressSpace, PhysAlloc, PhysMem, PAGE_SIZE};
 

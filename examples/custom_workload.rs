@@ -51,7 +51,7 @@ fn main() {
 
     // Sanity: the reference interpreter agrees the chain is cyclic and
     // counts its architectural misses.
-    let mut world = reference_world(&program, |space, pm, alloc| setup_chain(space, pm, alloc));
+    let mut world = reference_world(&program, setup_chain);
     world.run(u64::MAX);
     let misses = world.interp.dtlb_misses();
     println!("pointer chase: {hops} hops over {POOL_PAGES} pages, {misses} architectural misses\n");

@@ -75,14 +75,14 @@ fn contended_handler_context_reverts_cleanly() {
     let mix = [Kernel::Compress, Kernel::Compress, Kernel::Compress];
     let config = MachineConfig::paper_baseline(ExnMechanism::Multithreaded).with_threads(4);
     let mut m = Machine::new(config);
-    for tid in 0..3 {
-        load_kernel(&mut m, tid, mix[tid], 200 + tid as u64);
+    for (tid, &kernel) in mix.iter().enumerate() {
+        load_kernel(&mut m, tid, kernel, 200 + tid as u64);
         m.set_budget(tid, BUDGET);
     }
     m.run(100_000_000);
-    for tid in 0..3 {
+    for (tid, &kernel) in mix.iter().enumerate() {
         assert_eq!(m.stats().retired(tid), BUDGET);
-        let mut world = kernel_reference(mix[tid], 200 + tid as u64);
+        let mut world = kernel_reference(kernel, 200 + tid as u64);
         world.run(BUDGET);
         assert_eq!(m.int_regs(tid), world.interp.int_regs(), "thread {tid}");
     }

@@ -1,35 +1,30 @@
-//! Property-based differential testing: proptest drives random program
-//! seeds and mechanism choices; any divergence shrinks to a minimal seed.
+//! Randomized differential testing: a seeded driver sweeps random program
+//! seeds, mechanism choices and context counts; any divergence reports the
+//! exact (seed, mechanism, threads) triple so it can be replayed directly.
 
-use proptest::prelude::*;
 use smtx::core::{ExnMechanism, Machine, MachineConfig, ThreadState};
 use smtx::workloads::{pal_handler, randprog, reference_world};
+use smtx_rng::rngs::StdRng;
+use smtx_rng::{RngExt, SeedableRng};
 
-fn arb_mechanism() -> impl Strategy<Value = ExnMechanism> {
-    prop_oneof![
-        Just(ExnMechanism::PerfectTlb),
-        Just(ExnMechanism::Traditional),
-        Just(ExnMechanism::Multithreaded),
-        Just(ExnMechanism::QuickStart),
-        Just(ExnMechanism::Hardware),
-    ]
+fn pick_mechanism(rng: &mut StdRng) -> ExnMechanism {
+    ExnMechanism::ALL[rng.random_range(0..ExnMechanism::ALL.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// The machine's committed state equals the interpreter's for any generated
+/// program under any mechanism and any context count.
+#[test]
+fn machine_equals_interpreter() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_d1ff);
+    for _ in 0..24 {
+        let seed = rng.random_range(1000u64..4000);
+        let mechanism = pick_mechanism(&mut rng);
+        let threads = rng.random_range(1usize..4);
 
-    /// The machine's committed state equals the interpreter's for any
-    /// generated program under any mechanism and any context count.
-    #[test]
-    fn machine_equals_interpreter(
-        seed in 1000u64..4000,
-        mechanism in arb_mechanism(),
-        threads in 1usize..4,
-    ) {
         let rp = randprog::generate(seed);
         let mut world = reference_world(&rp.program, |s, p, a| rp.setup(s, p, a));
         let summary = world.run(2_000_000);
-        prop_assert!(summary.halted);
+        assert!(summary.halted, "seed {seed}: reference must halt");
 
         let config = MachineConfig::paper_baseline(mechanism).with_threads(threads);
         let mut m = Machine::new(config);
@@ -40,24 +35,28 @@ proptest! {
             rp.setup(sp, pm, alloc);
         }
         m.run(80_000_000);
-        prop_assert_eq!(m.thread_state(0), ThreadState::Halted);
-        prop_assert_eq!(m.int_regs(0), world.interp.int_regs());
-        prop_assert_eq!(m.fp_regs(0), world.interp.fp_regs());
-        prop_assert_eq!(
+        let ctx = format!("seed {seed} {mechanism:?} threads {threads}");
+        assert_eq!(m.thread_state(0), ThreadState::Halted, "{ctx}: not halted");
+        assert_eq!(m.int_regs(0), world.interp.int_regs(), "{ctx}: int regs");
+        assert_eq!(m.fp_regs(0), world.interp.fp_regs(), "{ctx}: fp regs");
+        assert_eq!(
             m.space(space).content_hash(m.phys()),
-            world.space.content_hash(&world.pm)
+            world.space.content_hash(&world.pm),
+            "{ctx}: memory image"
         );
     }
+}
 
-    /// Budget freezing commits an exact architectural prefix regardless of
-    /// mechanism: stopping at any instruction count yields interpreter
-    /// state.
-    #[test]
-    fn any_stopping_point_is_architectural(
-        seed in 1000u64..2000,
-        budget in 50u64..2000,
-        mechanism in arb_mechanism(),
-    ) {
+/// Budget freezing commits an exact architectural prefix regardless of
+/// mechanism: stopping at any instruction count yields interpreter state.
+#[test]
+fn any_stopping_point_is_architectural() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_f00d);
+    for _ in 0..24 {
+        let seed = rng.random_range(1000u64..2000);
+        let budget = rng.random_range(50u64..2000);
+        let mechanism = pick_mechanism(&mut rng);
+
         let rp = randprog::generate(seed);
         let mut world = reference_world(&rp.program, |s, p, a| rp.setup(s, p, a));
         let summary = world.run(budget);
@@ -72,11 +71,13 @@ proptest! {
         }
         m.set_budget(0, budget);
         m.run(80_000_000);
-        prop_assert_eq!(m.stats().retired(0), summary.retired);
-        prop_assert_eq!(m.int_regs(0), world.interp.int_regs());
-        prop_assert_eq!(
+        let ctx = format!("seed {seed} budget {budget} {mechanism:?}");
+        assert_eq!(m.stats().retired(0), summary.retired, "{ctx}: retired");
+        assert_eq!(m.int_regs(0), world.interp.int_regs(), "{ctx}: int regs");
+        assert_eq!(
             m.space(space).content_hash(m.phys()),
-            world.space.content_hash(&world.pm)
+            world.space.content_hash(&world.pm),
+            "{ctx}: memory image"
         );
     }
 }

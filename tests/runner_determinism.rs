@@ -1,0 +1,71 @@
+//! The runner's contract: a `RunKey` names a bit-exact simulation result.
+//!
+//! The same experiment point must yield identical `Stats` whether it is
+//! computed serially, on a multi-worker pool, or served from the memoizing
+//! cache — otherwise parallel experiment binaries could print different
+//! rows than the seed's serial loops.
+
+use smtx_bench::{config_with_idle, runner::perfect_of, Job, Runner};
+use smtx_core::ExnMechanism;
+use smtx_workloads::Kernel;
+
+const SEED: u64 = 42;
+const INSTS: u64 = 8_000;
+
+fn jobs_for(kernels: &[Kernel]) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for &kernel in kernels {
+        jobs.push(Job::Ref { kernel, seed: SEED, insts: INSTS });
+        for mech in [ExnMechanism::Traditional, ExnMechanism::Multithreaded] {
+            let config = config_with_idle(mech, 1);
+            jobs.push(Job::Sim { kernel, seed: SEED, insts: INSTS, config: config.clone() });
+            jobs.push(Job::Sim { kernel, seed: SEED, insts: INSTS, config: perfect_of(&config) });
+        }
+    }
+    jobs
+}
+
+#[test]
+fn serial_and_parallel_runs_produce_identical_stats() {
+    let kernels = [Kernel::Compress, Kernel::Gcc, Kernel::Murphi];
+    let serial = Runner::new(1);
+    let parallel = Runner::new(4);
+    serial.prefetch(jobs_for(&kernels));
+    parallel.prefetch(jobs_for(&kernels));
+
+    for &kernel in &kernels {
+        for mech in [ExnMechanism::Traditional, ExnMechanism::Multithreaded] {
+            for config in [config_with_idle(mech, 1), perfect_of(&config_with_idle(mech, 1))] {
+                let a = serial.run(kernel, SEED, INSTS, &config);
+                let b = parallel.run(kernel, SEED, INSTS, &config);
+                assert_eq!(
+                    a.stats, b.stats,
+                    "{} under {mech:?} differs between jobs=1 and jobs=4",
+                    kernel.name()
+                );
+                assert_eq!(a.cycles, b.cycles);
+                assert_eq!(a.arch_misses, b.arch_misses);
+            }
+        }
+    }
+    // Everything above must have been served from the prefetched cache.
+    assert_eq!(serial.stats().unique_runs, parallel.stats().unique_runs);
+}
+
+#[test]
+fn cached_results_match_fresh_computation() {
+    let config = config_with_idle(ExnMechanism::Multithreaded, 1);
+    let warm = Runner::new(2);
+    warm.prefetch(vec![Job::Sim {
+        kernel: Kernel::Vortex,
+        seed: SEED,
+        insts: INSTS,
+        config: config.clone(),
+    }]);
+    let cached = warm.run(Kernel::Vortex, SEED, INSTS, &config);
+    let hits = warm.stats().cache_hits;
+    assert!(hits >= 1, "second query must be a cache hit");
+
+    let cold = Runner::new(1).run(Kernel::Vortex, SEED, INSTS, &config);
+    assert_eq!(cached.stats, cold.stats, "cache must be bit-exact");
+}
