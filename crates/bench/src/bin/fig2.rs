@@ -2,62 +2,31 @@
 //! function of pipeline length (3, 7, 11 stages between fetch and execute),
 //! 8-wide machine.
 
-use std::time::Instant;
-
-use smtx_bench::runner::perfect_of;
-use smtx_bench::{config_with_idle, header, parse_args, row, Job, Report, Runner};
+use smtx_bench::{config_with_idle, penalty_table, Experiment};
 use smtx_core::ExnMechanism;
-use smtx_workloads::Kernel;
 
 fn main() {
-    let args = parse_args();
-    let runner = Runner::new(args.jobs);
-    let t0 = Instant::now();
-    println!("Figure 2 — traditional-handler penalty cycles per miss vs. pipeline depth");
-    println!("paper: slope ~2 penalty cycles per pipe stage (two refills per trap)");
-    println!("per-thread instruction budget: {}\n", args.insts);
-    let depths = [3u64, 7, 11];
-    let labels = ["3 stages", "7 stages", "11 stages"];
-    println!("{}", header("bench", &labels));
-
-    let budgets = runner.insts_map(&Kernel::ALL, args.seed, args.insts);
-    let mut jobs = Vec::new();
-    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        jobs.push(Job::Ref { kernel: k, seed: args.seed, insts });
-        for &d in &depths {
-            let cfg = config_with_idle(ExnMechanism::Traditional, 1).with_pipe_depth(d);
-            jobs.push(Job::Sim { kernel: k, seed: args.seed, insts, config: perfect_of(&cfg) });
-            jobs.push(Job::Sim { kernel: k, seed: args.seed, insts, config: cfg });
-        }
-    }
-    runner.prefetch(jobs);
-
-    let mut report = Report::new("fig2", args.insts, args.seed, runner.jobs());
-    report.columns = labels.iter().map(|s| s.to_string()).collect();
-    let mut sums = vec![0.0; depths.len()];
-    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        let cells: Vec<f64> = depths
-            .iter()
-            .map(|&d| {
-                let cfg = config_with_idle(ExnMechanism::Traditional, 1).with_pipe_depth(d);
-                runner.penalty_per_miss(k, args.seed, insts, &cfg)
-            })
-            .collect();
-        for (s, c) in sums.iter_mut().zip(&cells) {
-            *s += c;
-        }
-        println!("{}", row(k.name(), &cells));
-        report.push_row(k.name(), &cells);
-    }
-    let avg: Vec<f64> = sums.iter().map(|s| s / Kernel::ALL.len() as f64).collect();
-    println!("{}", row("average", &avg));
-    report.push_row("average", &avg);
+    let mut exp = Experiment::new("fig2");
+    exp.banner(&[
+        "Figure 2 — traditional-handler penalty cycles per miss vs. pipeline depth",
+        "paper: slope ~2 penalty cycles per pipe stage (two refills per trap)",
+    ]);
+    let configs = [
+        (
+            "3 stages",
+            config_with_idle(ExnMechanism::Traditional, 1).with_pipe_depth(3),
+        ),
+        (
+            "7 stages",
+            config_with_idle(ExnMechanism::Traditional, 1).with_pipe_depth(7),
+        ),
+        (
+            "11 stages",
+            config_with_idle(ExnMechanism::Traditional, 1).with_pipe_depth(11),
+        ),
+    ];
+    let avg = penalty_table(&mut exp, &configs);
     let slope = (avg[2] - avg[0]) / 8.0;
     println!("\nmeasured average slope: {slope:.2} penalty cycles per pipe stage");
-
-    report.wall = t0.elapsed();
-    report.runner = runner.stats();
-    if let Some(path) = &args.json {
-        report.write(path);
-    }
+    exp.finish();
 }

@@ -6,10 +6,8 @@
 //! machine; a rising curve means wider machines lose a larger *fraction* of
 //! their time to miss handling.
 
-use std::time::Instant;
-
 use smtx_bench::runner::perfect_of;
-use smtx_bench::{config_with_idle, header, parse_args, row, Job, Report, Runner};
+use smtx_bench::{config_with_idle, header, Experiment, Job, Runner};
 use smtx_core::{ExnMechanism, MachineConfig};
 use smtx_workloads::Kernel;
 
@@ -25,49 +23,42 @@ fn tlb_fraction(runner: &Runner, k: Kernel, seed: u64, insts: u64, w: usize, win
 }
 
 fn main() {
-    let args = parse_args();
-    let runner = Runner::new(args.jobs);
-    let t0 = Instant::now();
-    println!("Figure 3 — relative TLB execution percentage vs. superscalar width");
-    println!("paper: wider machines spend a larger share of time on TLB handling");
-    println!("values are normalized to the 2-wide machine (2-wide = 1.0)\n");
+    let mut exp = Experiment::new("fig3");
+    exp.banner(&[
+        "Figure 3 — relative TLB execution percentage vs. superscalar width",
+        "paper: wider machines spend a larger share of time on TLB handling",
+        "values are normalized to the 2-wide machine (2-wide = 1.0)",
+    ]);
     let sweep = [(2usize, 32usize), (4, 64), (8, 128)];
     println!("{}", header("bench", &["2w/32", "4w/64", "8w/128"]));
 
-    let budgets = runner.insts_map(&Kernel::ALL, args.seed, args.insts);
+    let (seed, insts) = (exp.args.seed, exp.args.insts);
+    let budgets = exp.runner.insts_map(&Kernel::ALL, seed, insts);
     let mut jobs = Vec::new();
     for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
         for &(w, win) in &sweep {
             let cfg = width_config(w, win);
-            jobs.push(Job::Sim { kernel: k, seed: args.seed, insts, config: perfect_of(&cfg) });
-            jobs.push(Job::Sim { kernel: k, seed: args.seed, insts, config: cfg });
+            jobs.push(Job::Sim { kernel: k, seed, insts, config: perfect_of(&cfg) });
+            jobs.push(Job::Sim { kernel: k, seed, insts, config: cfg });
         }
     }
-    runner.prefetch(jobs);
+    exp.runner.prefetch(jobs);
 
-    let mut report = Report::new("fig3", args.insts, args.seed, runner.jobs());
-    report.columns = vec!["2w/32".into(), "4w/64".into(), "8w/128".into()];
+    exp.report.columns = vec!["2w/32".into(), "4w/64".into(), "8w/128".into()];
     let mut sums = vec![0.0; sweep.len()];
     for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
         let fracs: Vec<f64> = sweep
             .iter()
-            .map(|&(w, win)| tlb_fraction(&runner, k, args.seed, insts, w, win))
+            .map(|&(w, win)| tlb_fraction(&exp.runner, k, seed, insts, w, win))
             .collect();
         let base = fracs[0].max(1e-9);
         let cells: Vec<f64> = fracs.iter().map(|f| f / base).collect();
         for (s, c) in sums.iter_mut().zip(&cells) {
             *s += c;
         }
-        println!("{}", row(k.name(), &cells));
-        report.push_row(k.name(), &cells);
+        exp.emit_row(k.name(), &cells);
     }
     let avg: Vec<f64> = sums.iter().map(|s| s / Kernel::ALL.len() as f64).collect();
-    println!("{}", row("average", &avg));
-    report.push_row("average", &avg);
-
-    report.wall = t0.elapsed();
-    report.runner = runner.stats();
-    if let Some(path) = &args.json {
-        report.write(path);
-    }
+    exp.emit_row("average", &avg);
+    exp.finish();
 }

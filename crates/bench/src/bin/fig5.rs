@@ -2,66 +2,21 @@
 //! handler, multithreaded(1), multithreaded(3) and the hardware walker,
 //! per benchmark plus the average.
 
-use std::time::Instant;
-
-use smtx_bench::runner::perfect_of;
-use smtx_bench::{config_with_idle, header, parse_args, row, Job, Report, Runner};
+use smtx_bench::{config_with_idle, penalty_table, Experiment};
 use smtx_core::ExnMechanism;
-use smtx_workloads::Kernel;
 
 fn main() {
-    let args = parse_args();
-    let runner = Runner::new(args.jobs);
-    let t0 = Instant::now();
-    println!("Figure 5 — relative TLB miss performance (penalty cycles per miss)");
-    println!("paper averages: traditional 22.7, multi(1) 11.7, multi(3) 11.0, hardware 7.3");
-    println!("per-thread instruction budget: {}\n", args.insts);
+    let mut exp = Experiment::new("fig5");
+    exp.banner(&[
+        "Figure 5 — relative TLB miss performance (penalty cycles per miss)",
+        "paper averages: traditional 22.7, multi(1) 11.7, multi(3) 11.0, hardware 7.3",
+    ]);
     let configs = [
         ("traditional", config_with_idle(ExnMechanism::Traditional, 1)),
         ("multi(1)", config_with_idle(ExnMechanism::Multithreaded, 1)),
         ("multi(3)", config_with_idle(ExnMechanism::Multithreaded, 3)),
         ("hardware", config_with_idle(ExnMechanism::Hardware, 1)),
     ];
-    println!(
-        "{}",
-        header("bench", &configs.iter().map(|(n, _)| *n).collect::<Vec<_>>())
-    );
-
-    // Expand the figure into its unique simulation points and run each
-    // exactly once: per kernel, one run per mechanism column plus the
-    // shared perfect baseline and the reference miss count.
-    let budgets = runner.insts_map(&Kernel::ALL, args.seed, args.insts);
-    let mut jobs = Vec::new();
-    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        jobs.push(Job::Ref { kernel: k, seed: args.seed, insts });
-        for (_, cfg) in &configs {
-            jobs.push(Job::Sim { kernel: k, seed: args.seed, insts, config: cfg.clone() });
-            jobs.push(Job::Sim { kernel: k, seed: args.seed, insts, config: perfect_of(cfg) });
-        }
-    }
-    runner.prefetch(jobs);
-
-    let mut report = Report::new("fig5", args.insts, args.seed, runner.jobs());
-    report.columns = configs.iter().map(|(n, _)| n.to_string()).collect();
-    let mut sums = vec![0.0; configs.len()];
-    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        let cells: Vec<f64> = configs
-            .iter()
-            .map(|(_, cfg)| runner.penalty_per_miss(k, args.seed, insts, cfg))
-            .collect();
-        for (s, c) in sums.iter_mut().zip(&cells) {
-            *s += c;
-        }
-        println!("{}", row(k.name(), &cells));
-        report.push_row(k.name(), &cells);
-    }
-    let avg: Vec<f64> = sums.iter().map(|s| s / Kernel::ALL.len() as f64).collect();
-    println!("{}", row("average", &avg));
-    report.push_row("average", &avg);
-
-    report.wall = t0.elapsed();
-    report.runner = runner.stats();
-    if let Some(path) = &args.json {
-        report.write(path);
-    }
+    penalty_table(&mut exp, &configs);
+    exp.finish();
 }

@@ -3,11 +3,16 @@
 //!
 //! This binary exists as the wall-clock baseline for
 //! `scripts/bench_summary.sh`: it re-runs the shared perfect-TLB baseline
-//! for every mechanism column and the reference interpreter for every
-//! query, so the speedup of `fig5` over `fig5_naive` is the measured win
-//! of the parallel memoizing runner. Its rows must always match `fig5`'s.
+//! for every mechanism column, the reference interpreter for every query,
+//! and — when fast-forwarding — a fresh checkpoint per cell, so the speedup
+//! of `fig5` over `fig5_naive` is the measured win of the memoizing runner
+//! plus the checkpoint cache. Its rows must always match `fig5`'s.
 
-use smtx_bench::{config_with_idle, header, insts_for, parse_args, penalty_per_miss, row};
+use smtx_bench::runner::perfect_of;
+use smtx_bench::{
+    config_with_idle, header, insts_for, make_checkpoint, parse_args, penalty_per_miss,
+    probe_insts, row, run_restored, scale_budget,
+};
 use smtx_core::ExnMechanism;
 use smtx_workloads::Kernel;
 
@@ -15,7 +20,11 @@ fn main() {
     let args = parse_args();
     println!("Figure 5 — relative TLB miss performance (penalty cycles per miss)");
     println!("paper averages: traditional 22.7, multi(1) 11.7, multi(3) 11.0, hardware 7.3");
-    println!("per-thread instruction budget: {}\n", args.insts);
+    println!("per-thread instruction budget: {}", args.insts);
+    if args.skip > 0 {
+        println!("functional fast-forward: {} instructions", args.skip);
+    }
+    println!();
     let configs = [
         ("traditional", config_with_idle(ExnMechanism::Traditional, 1)),
         ("multi(1)", config_with_idle(ExnMechanism::Multithreaded, 1)),
@@ -28,10 +37,29 @@ fn main() {
     );
     let mut sums = vec![0.0; configs.len()];
     for k in Kernel::ALL {
-        let insts = insts_for(k, args.seed, args.insts);
+        let insts = if args.skip == 0 {
+            insts_for(k, args.seed, args.insts)
+        } else {
+            // Window-based miss density, matching the runner's budget at the
+            // same skip — the rows can only match if the budgets do.
+            let probe = probe_insts(args.insts);
+            let ck = make_checkpoint(k, args.seed, args.skip);
+            scale_budget(ck.arch_misses_in_window(0, probe), probe, args.insts)
+        };
         let cells: Vec<f64> = configs
             .iter()
-            .map(|(_, cfg)| penalty_per_miss(k, args.seed, insts, cfg))
+            .map(|(_, cfg)| {
+                if args.skip == 0 {
+                    penalty_per_miss(k, args.seed, insts, cfg)
+                } else {
+                    // The naive fast-forward path: a fresh checkpoint per
+                    // cell, never reused — the cost `fig5`'s cache removes.
+                    let ck = make_checkpoint(k, args.seed, args.skip);
+                    let run = run_restored(&ck, insts, cfg.clone(), args.idle_skip);
+                    let perfect = run_restored(&ck, insts, perfect_of(cfg), args.idle_skip);
+                    (run.cycles as f64 - perfect.cycles as f64) / run.arch_misses.max(1) as f64
+                }
+            })
             .collect();
         for (s, c) in sums.iter_mut().zip(&cells) {
             *s += c;

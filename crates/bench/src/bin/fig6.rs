@@ -2,67 +2,25 @@
 //! traditional, multithreaded(1), quick-start(1) and hardware per
 //! benchmark.
 
-use std::time::Instant;
-
-use smtx_bench::runner::perfect_of;
-use smtx_bench::{config_with_idle, header, parse_args, row, Job, Report, Runner};
+use smtx_bench::{config_with_idle, penalty_table, Experiment};
 use smtx_core::ExnMechanism;
-use smtx_workloads::Kernel;
 
 fn main() {
-    let args = parse_args();
-    let runner = Runner::new(args.jobs);
-    let t0 = Instant::now();
-    println!("Figure 6 — quick-starting multithreaded handler (penalty cycles per miss)");
-    println!("paper: quick-start improves on multithreaded by ~1.7 cycles/miss on average");
-    println!("per-thread instruction budget: {}\n", args.insts);
+    let mut exp = Experiment::new("fig6");
+    exp.banner(&[
+        "Figure 6 — quick-starting multithreaded handler (penalty cycles per miss)",
+        "paper: quick-start improves on multithreaded by ~1.7 cycles/miss on average",
+    ]);
     let configs = [
         ("traditional", config_with_idle(ExnMechanism::Traditional, 1)),
         ("multi(1)", config_with_idle(ExnMechanism::Multithreaded, 1)),
         ("quick(1)", config_with_idle(ExnMechanism::QuickStart, 1)),
         ("hardware", config_with_idle(ExnMechanism::Hardware, 1)),
     ];
-    println!(
-        "{}",
-        header("bench", &configs.iter().map(|(n, _)| *n).collect::<Vec<_>>())
-    );
-
-    let budgets = runner.insts_map(&Kernel::ALL, args.seed, args.insts);
-    let mut jobs = Vec::new();
-    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        jobs.push(Job::Ref { kernel: k, seed: args.seed, insts });
-        for (_, cfg) in &configs {
-            jobs.push(Job::Sim { kernel: k, seed: args.seed, insts, config: cfg.clone() });
-            jobs.push(Job::Sim { kernel: k, seed: args.seed, insts, config: perfect_of(cfg) });
-        }
-    }
-    runner.prefetch(jobs);
-
-    let mut report = Report::new("fig6", args.insts, args.seed, runner.jobs());
-    report.columns = configs.iter().map(|(n, _)| n.to_string()).collect();
-    let mut sums = vec![0.0; configs.len()];
-    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        let cells: Vec<f64> = configs
-            .iter()
-            .map(|(_, cfg)| runner.penalty_per_miss(k, args.seed, insts, cfg))
-            .collect();
-        for (s, c) in sums.iter_mut().zip(&cells) {
-            *s += c;
-        }
-        println!("{}", row(k.name(), &cells));
-        report.push_row(k.name(), &cells);
-    }
-    let avg: Vec<f64> = sums.iter().map(|s| s / Kernel::ALL.len() as f64).collect();
-    println!("{}", row("average", &avg));
-    report.push_row("average", &avg);
+    let avg = penalty_table(&mut exp, &configs);
     println!(
         "\nquick-start improvement over multithreaded: {:.2} cycles/miss",
         avg[1] - avg[2]
     );
-
-    report.wall = t0.elapsed();
-    report.runner = runner.stats();
-    if let Some(path) = &args.json {
-        report.write(path);
-    }
+    exp.finish();
 }

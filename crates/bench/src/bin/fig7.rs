@@ -1,9 +1,7 @@
 //! Figure 7: average TLB-miss penalties with three application threads
 //! plus one idle context, across the paper's eight benchmark mixes.
 
-use std::time::Instant;
-
-use smtx_bench::{header, parse_args, row, Job, Report, Runner};
+use smtx_bench::{header, Experiment, Job};
 use smtx_core::{ExnMechanism, MachineConfig};
 use smtx_workloads::MIXES;
 
@@ -12,12 +10,11 @@ fn mix_config(mechanism: ExnMechanism) -> MachineConfig {
 }
 
 fn main() {
-    let args = parse_args();
-    let runner = Runner::new(args.jobs);
-    let t0 = Instant::now();
-    println!("Figure 7 — TLB miss penalties with 3 applications on the SMT (+1 idle)");
-    println!("paper: multithreaded reduces the average penalty ~25%, quick-start ~30%");
-    println!("per-thread instruction budget: {}\n", args.insts);
+    let mut exp = Experiment::new("fig7");
+    exp.banner(&[
+        "Figure 7 — TLB miss penalties with 3 applications on the SMT (+1 idle)",
+        "paper: multithreaded reduces the average penalty ~25%, quick-start ~30%",
+    ]);
     let mechs = [
         ("traditional", ExnMechanism::Traditional),
         ("multi(1)", ExnMechanism::Multithreaded),
@@ -29,60 +26,43 @@ fn main() {
         header("mix", &mechs.iter().map(|(n, _)| *n).collect::<Vec<_>>())
     );
 
+    let (seed, insts) = (exp.args.seed, exp.args.insts);
     let mut jobs = Vec::new();
     for mix in MIXES {
         for (tid, &k) in mix.iter().enumerate() {
-            jobs.push(Job::Ref { kernel: k, seed: args.seed + tid as u64, insts: args.insts });
+            jobs.push(Job::Ref { kernel: k, seed: seed + tid as u64, insts });
         }
-        jobs.push(Job::Mix {
-            mix,
-            seed: args.seed,
-            insts: args.insts,
-            config: mix_config(ExnMechanism::PerfectTlb),
-        });
+        jobs.push(Job::Mix { mix, seed, insts, config: mix_config(ExnMechanism::PerfectTlb) });
         for &(_, mech) in &mechs {
-            jobs.push(Job::Mix {
-                mix,
-                seed: args.seed,
-                insts: args.insts,
-                config: mix_config(mech),
-            });
+            jobs.push(Job::Mix { mix, seed, insts, config: mix_config(mech) });
         }
     }
-    runner.prefetch(jobs);
+    exp.runner.prefetch(jobs);
 
-    let mut report = Report::new("fig7", args.insts, args.seed, runner.jobs());
-    report.columns = mechs.iter().map(|(n, _)| n.to_string()).collect();
+    exp.report.columns = mechs.iter().map(|(n, _)| n.to_string()).collect();
     let mut sums = vec![0.0; mechs.len()];
     for mix in MIXES {
         let label: String = mix.iter().map(|k| k.tag()).collect::<Vec<_>>().join("-");
-        let perfect = runner.run_mix(mix, args.seed, args.insts, &mix_config(ExnMechanism::PerfectTlb));
-        let misses = runner.mix_arch_misses(mix, args.seed, args.insts).max(1);
+        let perfect = exp.runner.run_mix(mix, seed, insts, &mix_config(ExnMechanism::PerfectTlb));
+        let misses = exp.runner.mix_arch_misses(mix, seed, insts).max(1);
         let cells: Vec<f64> = mechs
             .iter()
             .map(|&(_, mech)| {
-                let cycles = runner.run_mix(mix, args.seed, args.insts, &mix_config(mech));
+                let cycles = exp.runner.run_mix(mix, seed, insts, &mix_config(mech));
                 (cycles as f64 - perfect as f64) / misses as f64
             })
             .collect();
         for (s, c) in sums.iter_mut().zip(&cells) {
             *s += c;
         }
-        println!("{}", row(&label, &cells));
-        report.push_row(&label, &cells);
+        exp.emit_row(&label, &cells);
     }
     let avg: Vec<f64> = sums.iter().map(|s| s / MIXES.len() as f64).collect();
-    println!("{}", row("average", &avg));
-    report.push_row("average", &avg);
+    exp.emit_row("average", &avg);
     println!(
         "\nreduction vs traditional: multi {:.0}%, quick-start {:.0}%",
         (1.0 - avg[1] / avg[0]) * 100.0,
         (1.0 - avg[2] / avg[0]) * 100.0
     );
-
-    report.wall = t0.elapsed();
-    report.runner = runner.stats();
-    if let Some(path) = &args.json {
-        report.write(path);
-    }
+    exp.finish();
 }

@@ -1,37 +1,35 @@
 //! Table 2: the benchmark inventory — our kernels' realized TLB-miss
 //! densities next to the paper's published counts.
 
-use std::time::Instant;
-
-use smtx_bench::{parse_args, Job, Report, Runner};
+use smtx_bench::{Experiment, Job};
 use smtx_workloads::Kernel;
 
 fn main() {
-    let args = parse_args();
-    let runner = Runner::new(args.jobs);
-    let t0 = Instant::now();
-    println!("Table 2 — benchmark suite: realized vs. paper TLB-miss density");
-    println!("(misses per 100M instructions; reference-interpreter DTLB, 64 entries)\n");
+    let mut exp = Experiment::new("table2");
+    exp.banner(&[
+        "Table 2 — benchmark suite: realized vs. paper TLB-miss density",
+        "(misses per 100M instructions; reference-interpreter DTLB, 64 entries)",
+    ]);
     println!(
         "{:<12} {:>16} {:>16} {:>8}",
         "bench", "paper/100M", "ours/100M", "ratio"
     );
 
-    runner.prefetch(
+    let (seed, insts) = (exp.args.seed, exp.args.insts);
+    exp.runner.prefetch(
         Kernel::ALL
             .iter()
-            .map(|&k| Job::Ref { kernel: k, seed: args.seed, insts: args.insts })
+            .map(|&k| Job::Ref { kernel: k, seed, insts })
             .collect(),
     );
 
-    let mut report = Report::new("table2", args.insts, args.seed, runner.jobs());
-    report.columns = vec!["paper/100M".into(), "ours/100M".into(), "ratio".into()];
+    exp.report.columns = vec!["paper/100M".into(), "ours/100M".into(), "ratio".into()];
     for k in Kernel::ALL {
         // Kernels always run to their full budget, so the realized density
         // is misses-per-1000-retired scaled to a 100M-instruction window —
         // the same arithmetic as `kernel_miss_density`.
-        let misses = runner.arch_misses(k, args.seed, args.insts);
-        let ours = misses as f64 * 1000.0 / args.insts as f64 * 100_000.0;
+        let misses = exp.runner.arch_misses(k, seed, insts);
+        let ours = misses as f64 * 1000.0 / insts as f64 * 100_000.0;
         let paper = k.paper_misses_per_100m() as f64;
         println!(
             "{:<12} {:>16.0} {:>16.0} {:>8.2}",
@@ -40,12 +38,7 @@ fn main() {
             ours,
             ours / paper
         );
-        report.push_row(k.name(), &[paper, ours, ours / paper]);
+        exp.report.push_row(k.name(), &[paper, ours, ours / paper]);
     }
-
-    report.wall = t0.elapsed();
-    report.runner = runner.stats();
-    if let Some(path) = &args.json {
-        report.write(path);
-    }
+    exp.finish();
 }

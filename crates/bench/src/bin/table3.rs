@@ -1,21 +1,18 @@
 //! Table 3: limit studies — average penalty cycles per miss with each
 //! overhead of the multithreaded mechanism removed in turn.
 
-use std::time::Instant;
-
 use smtx_bench::runner::perfect_of;
-use smtx_bench::{config_with_idle, limit_config, parse_args, Job, Report, Runner};
+use smtx_bench::{config_with_idle, limit_config, Experiment, Job};
 use smtx_core::{ExnMechanism, LimitKnobs};
 use smtx_workloads::Kernel;
 
 fn main() {
-    let args = parse_args();
-    let runner = Runner::new(args.jobs);
-    let t0 = Instant::now();
-    println!("Table 3 — limit studies (average penalty cycles per miss)");
-    println!("paper: traditional 22.4, multi 11.0, -exec-bw 10.7, -window 10.5,");
-    println!("       -fetch/decode-bw 10.2, instant-fetch 8.5, hardware 7.1");
-    println!("per-thread instruction budget: {}\n", args.insts);
+    let mut exp = Experiment::new("table3");
+    exp.banner(&[
+        "Table 3 — limit studies (average penalty cycles per miss)",
+        "paper: traditional 22.4, multi 11.0, -exec-bw 10.7, -window 10.5,",
+        "       -fetch/decode-bw 10.2, instant-fetch 8.5, hardware 7.1",
+    ]);
 
     let rows: Vec<(&str, smtx_core::MachineConfig)> = vec![
         ("Traditional Software", config_with_idle(ExnMechanism::Traditional, 3)),
@@ -39,34 +36,29 @@ fn main() {
         ("Hardware TLB miss handler", config_with_idle(ExnMechanism::Hardware, 3)),
     ];
 
-    let budgets = runner.insts_map(&Kernel::ALL, args.seed, args.insts);
+    let seed = exp.args.seed;
+    let budgets = exp.runner.insts_map(&Kernel::ALL, seed, exp.args.insts);
     let mut jobs = Vec::new();
     for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        jobs.push(Job::Ref { kernel: k, seed: args.seed, insts });
+        jobs.push(Job::Ref { kernel: k, seed, insts });
         for (_, cfg) in &rows {
-            jobs.push(Job::Sim { kernel: k, seed: args.seed, insts, config: cfg.clone() });
-            jobs.push(Job::Sim { kernel: k, seed: args.seed, insts, config: perfect_of(cfg) });
+            jobs.push(Job::Sim { kernel: k, seed, insts, config: cfg.clone() });
+            jobs.push(Job::Sim { kernel: k, seed, insts, config: perfect_of(cfg) });
         }
     }
-    runner.prefetch(jobs);
+    exp.runner.prefetch(jobs);
 
-    let mut report = Report::new("table3", args.insts, args.seed, runner.jobs());
-    report.columns = vec!["penalty/miss".into()];
+    exp.report.columns = vec!["penalty/miss".into()];
     println!("{:<44} {:>12}", "Configuration", "Penalty/Miss");
     for (name, cfg) in rows {
         let avg: f64 = Kernel::ALL
             .iter()
             .zip(&budgets)
-            .map(|(&k, &insts)| runner.penalty_per_miss(k, args.seed, insts, &cfg))
+            .map(|(&k, &insts)| exp.runner.penalty_per_miss(k, seed, insts, &cfg))
             .sum::<f64>()
             / Kernel::ALL.len() as f64;
         println!("{name:<44} {avg:>12.2}");
-        report.push_row(name, &[avg]);
+        exp.report.push_row(name, &[avg]);
     }
-
-    report.wall = t0.elapsed();
-    report.runner = runner.stats();
-    if let Some(path) = &args.json {
-        report.write(path);
-    }
+    exp.finish();
 }

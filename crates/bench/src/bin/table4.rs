@@ -2,18 +2,13 @@
 //! Perfect / Hardware / Multi(1) / Multi(3) / Quick(1) / Quick(3), plus
 //! each benchmark's TLB-miss density and base IPC.
 
-use std::time::Instant;
-
-use smtx_bench::{config_with_idle, parse_args, Job, Report, Runner};
+use smtx_bench::{config_with_idle, Experiment, Job};
 use smtx_core::ExnMechanism;
 use smtx_workloads::Kernel;
 
 fn main() {
-    let args = parse_args();
-    let runner = Runner::new(args.jobs);
-    let t0 = Instant::now();
-    println!("Table 4 — speedups over traditional software handling");
-    println!("per-thread instruction budget: {}\n", args.insts);
+    let mut exp = Experiment::new("table4");
+    exp.banner(&["Table 4 — speedups over traditional software handling"]);
     println!(
         "{:<10} {:>8} {:>12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9}",
         "bench", "baseIPC", "misses/100M", "Perfect", "H/W", "Multi(1)", "Multi(3)", "Quick(1)", "Quick(3)"
@@ -27,29 +22,24 @@ fn main() {
         ("Quick(3)", ExnMechanism::QuickStart, 3),
     ];
 
-    let budgets = runner.insts_map(&Kernel::ALL, args.seed, args.insts);
+    let seed = exp.args.seed;
+    let budgets = exp.runner.insts_map(&Kernel::ALL, seed, exp.args.insts);
     let mut jobs = Vec::new();
     for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        jobs.push(Job::Ref { kernel: k, seed: args.seed, insts });
+        jobs.push(Job::Ref { kernel: k, seed, insts });
         jobs.push(Job::Sim {
             kernel: k,
-            seed: args.seed,
+            seed,
             insts,
             config: config_with_idle(ExnMechanism::Traditional, 1),
         });
         for (_, mech, idle) in columns {
-            jobs.push(Job::Sim {
-                kernel: k,
-                seed: args.seed,
-                insts,
-                config: config_with_idle(mech, idle),
-            });
+            jobs.push(Job::Sim { kernel: k, seed, insts, config: config_with_idle(mech, idle) });
         }
     }
-    runner.prefetch(jobs);
+    exp.runner.prefetch(jobs);
 
-    let mut report = Report::new("table4", args.insts, args.seed, runner.jobs());
-    report.columns = vec![
+    exp.report.columns = vec![
         "baseIPC".into(),
         "misses/100M".into(),
         "Perfect".into(),
@@ -61,16 +51,16 @@ fn main() {
     ];
     for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
         let base =
-            runner.run(k, args.seed, insts, &config_with_idle(ExnMechanism::Traditional, 1));
+            exp.runner.run(k, seed, insts, &config_with_idle(ExnMechanism::Traditional, 1));
         let misses_per_100m = base.arch_misses as f64 * 100.0e6 / insts as f64;
         let mut cells = Vec::new();
         for (_, mech, idle) in columns {
-            let run = runner.run(k, args.seed, insts, &config_with_idle(mech, idle));
+            let run = exp.runner.run(k, seed, insts, &config_with_idle(mech, idle));
             let speedup = (base.cycles as f64 / run.cycles as f64 - 1.0) * 100.0;
             cells.push(speedup);
         }
         let perfect =
-            runner.run(k, args.seed, insts, &config_with_idle(ExnMechanism::PerfectTlb, 1));
+            exp.runner.run(k, seed, insts, &config_with_idle(ExnMechanism::PerfectTlb, 1));
         println!(
             "{:<10} {:>8.1} {:>12.0} {:>8.1}% {:>7.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
             k.name(),
@@ -85,14 +75,9 @@ fn main() {
         );
         let mut row_cells = vec![perfect.ipc(), misses_per_100m];
         row_cells.extend_from_slice(&cells);
-        report.push_row(k.name(), &row_cells);
+        exp.report.push_row(k.name(), &row_cells);
     }
     println!("\npaper (for scale): compress 12.9/9.0/6.8/7.3/7.8/8.4%, vortex 9.6/7.1/4.8/5.3/5.7/6.3%");
     println!("paper base IPC: adm 4.3, apl 2.6, cmp 2.6, dbl 2.2, gcc 2.8, h2d 1.3, mph 3.9, vor 4.9");
-
-    report.wall = t0.elapsed();
-    report.runner = runner.stats();
-    if let Some(path) = &args.json {
-        report.write(path);
-    }
+    exp.finish();
 }

@@ -1,0 +1,137 @@
+//! The shared experiment scaffold.
+//!
+//! Every experiment binary used to open with the same ten lines — parse
+//! args, build a runner, start the wall clock, print the banner — and close
+//! with the same five. [`Experiment`] owns that frame, and
+//! [`penalty_table`] owns the whole body of the three penalty-per-miss
+//! figures (2, 5, 6), which differ only in their configuration columns and
+//! footers.
+
+use std::time::Instant;
+
+use smtx_core::MachineConfig;
+use smtx_workloads::Kernel;
+
+use crate::runner::perfect_of;
+use crate::{header, parse_args, row, Args, Job, Report, Runner};
+
+/// One experiment binary's shared state: parsed arguments, the memoizing
+/// runner (configured from the two-tier flags), the machine-readable
+/// report, and the wall clock.
+pub struct Experiment {
+    /// Parsed command line.
+    pub args: Args,
+    /// The parallel memoizing executor.
+    pub runner: Runner,
+    /// The `--json` report being accumulated.
+    pub report: Report,
+    t0: Instant,
+}
+
+impl Experiment {
+    /// Parses the process command line and builds the experiment frame.
+    #[must_use]
+    pub fn new(name: &str) -> Experiment {
+        Experiment::with_args(name, parse_args())
+    }
+
+    /// Builds the frame from explicit arguments (tests drive this).
+    #[must_use]
+    pub fn with_args(name: &str, args: Args) -> Experiment {
+        let runner = Runner::new(args.jobs)
+            .with_skip(args.skip)
+            .with_checkpoint_cache(args.checkpoint)
+            .with_idle_skip(args.idle_skip);
+        let mut report = Report::new(name, args.insts, args.seed, runner.jobs());
+        report.skip = args.skip;
+        report.checkpoint = args.checkpoint;
+        report.idle_skip = args.idle_skip;
+        Experiment { args, runner, report, t0: Instant::now() }
+    }
+
+    /// Prints the experiment banner: the headline `lines`, the budget line,
+    /// and — only when fast-forwarding — the skip line. The banner depends
+    /// on nothing but `--insts` and `--skip`, so the stdout of two runs
+    /// differing only in `--checkpoint` or `--idle-skip` must be
+    /// byte-identical (CI diffs it).
+    pub fn banner(&self, lines: &[&str]) {
+        for line in lines {
+            println!("{line}");
+        }
+        println!("per-thread instruction budget: {}", self.args.insts);
+        if self.args.skip > 0 {
+            println!("functional fast-forward: {} instructions", self.args.skip);
+        }
+        println!();
+    }
+
+    /// Prints one table row and records it in the report.
+    pub fn emit_row(&mut self, label: &str, cells: &[f64]) {
+        println!("{}", row(label, cells));
+        self.report.push_row(label, cells);
+    }
+
+    /// Stops the wall clock, folds in the runner counters, and writes the
+    /// `--json` report if one was requested.
+    pub fn finish(mut self) {
+        self.report.wall = self.t0.elapsed();
+        self.report.runner = self.runner.stats();
+        if let Some(path) = &self.args.json {
+            self.report.write(path);
+        }
+    }
+}
+
+/// The common body of the penalty-per-miss figures: print the header,
+/// expand every `(kernel, column)` cell plus the shared perfect baselines
+/// and reference runs into one prefetch batch, then print a
+/// penalty-per-miss row per kernel and the per-column average. Returns the
+/// averages for figure-specific footers.
+pub fn penalty_table(exp: &mut Experiment, configs: &[(&str, MachineConfig)]) -> Vec<f64> {
+    println!(
+        "{}",
+        header("bench", &configs.iter().map(|(n, _)| *n).collect::<Vec<_>>())
+    );
+    exp.report.columns = configs.iter().map(|(n, _)| n.to_string()).collect();
+    let seed = exp.args.seed;
+    let budgets = exp.runner.insts_map(&Kernel::ALL, seed, exp.args.insts);
+    let mut jobs = Vec::new();
+    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
+        jobs.push(Job::Ref { kernel: k, seed, insts });
+        for (_, cfg) in configs {
+            jobs.push(Job::Sim { kernel: k, seed, insts, config: cfg.clone() });
+            jobs.push(Job::Sim { kernel: k, seed, insts, config: perfect_of(cfg) });
+        }
+    }
+    exp.runner.prefetch(jobs);
+
+    let mut sums = vec![0.0; configs.len()];
+    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
+        let cells: Vec<f64> = configs
+            .iter()
+            .map(|(_, cfg)| exp.runner.penalty_per_miss(k, seed, insts, cfg))
+            .collect();
+        for (s, c) in sums.iter_mut().zip(&cells) {
+            *s += c;
+        }
+        exp.emit_row(k.name(), &cells);
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / Kernel::ALL.len() as f64).collect();
+    exp.emit_row("average", &avg);
+    avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_args_threads_two_tier_flags_through() {
+        let args = Args { skip: 1_000, checkpoint: false, idle_skip: false, ..Args::default() };
+        let exp = Experiment::with_args("probe", args);
+        assert_eq!(exp.runner.skip(), 1_000);
+        assert_eq!(exp.report.skip, 1_000);
+        assert!(!exp.report.checkpoint);
+        assert!(!exp.report.idle_skip);
+    }
+}

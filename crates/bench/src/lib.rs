@@ -34,13 +34,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiment;
 pub mod micro;
 pub mod report;
 pub mod runner;
 
-use smtx_core::{ExnMechanism, LimitKnobs, Machine, MachineConfig};
+use smtx_core::{Checkpoint, ExnMechanism, LimitKnobs, Machine, MachineConfig};
 use smtx_workloads::{kernel_reference, load_kernel, Kernel};
 
+pub use experiment::{penalty_table, Experiment};
 pub use report::Report;
 pub use runner::{Job, MixKey, RunKey, Runner};
 
@@ -108,21 +110,99 @@ pub fn arch_misses(kernel: Kernel, seed: u64, insts: u64) -> u64 {
     world.interp.dtlb_misses()
 }
 
+/// The canonical capture machine: loading a kernel is config-independent,
+/// so checkpoints are always captured on the paper baseline and restored
+/// into whatever configuration a sweep asks for.
+fn capture_machine(threads: usize) -> Machine {
+    Machine::new(MachineConfig::paper_baseline(ExnMechanism::PerfectTlb).with_threads(threads))
+}
+
+/// Builds the tier-1 fast-forward checkpoint for one kernel: load it
+/// exactly as a measured run would, then run the functional interpreter for
+/// `skip` instructions.
+///
+/// # Panics
+///
+/// Panics if the kernel faults or halts inside the fast-forward.
+#[must_use]
+pub fn make_checkpoint(kernel: Kernel, seed: u64, skip: u64) -> Checkpoint {
+    let mut m = capture_machine(2);
+    load_kernel(&mut m, 0, kernel, seed);
+    Checkpoint::capture(&m, skip)
+        .unwrap_or_else(|e| panic!("{} fast-forward failed: {e}", kernel.name()))
+}
+
+/// Builds the fast-forward checkpoint for a Fig. 7 mix (three kernels on
+/// threads 0–2, thread `tid` seeded with `seed + tid`).
+///
+/// # Panics
+///
+/// Panics if any kernel faults or halts inside the fast-forward.
+#[must_use]
+pub fn make_mix_checkpoint(mix: [Kernel; 3], seed: u64, skip: u64) -> Checkpoint {
+    let mut m = capture_machine(4);
+    for (tid, &k) in mix.iter().enumerate() {
+        load_kernel(&mut m, tid, k, seed + tid as u64);
+    }
+    Checkpoint::capture(&m, skip)
+        .unwrap_or_else(|e| panic!("{mix:?} fast-forward failed: {e}"))
+}
+
+/// Restores `ck` into a fresh machine under `config` and measures `insts`
+/// user instructions on thread 0 (the uncached single-kernel path, used by
+/// the naive baseline binary; [`Runner`] has a memoized equivalent).
+///
+/// # Panics
+///
+/// Panics if the machine fails to retire the budget within the cycle cap.
+#[must_use]
+pub fn run_restored(
+    ck: &Checkpoint,
+    insts: u64,
+    config: MachineConfig,
+    idle_skip: bool,
+) -> RunResult {
+    let mut m = Machine::new(config);
+    m.set_idle_skip(idle_skip);
+    m.restore(ck);
+    m.set_budget(0, insts);
+    m.run(cycle_cap(insts));
+    let stats = m.stats().clone();
+    assert_eq!(stats.retired(0), insts, "restored run did not finish");
+    let arch_misses = ck.arch_misses_in_window(0, insts);
+    RunResult { cycles: stats.cycles, retired: insts, arch_misses, stats }
+}
+
 /// Minimum misses a penalty-per-miss measurement should average over; with
 /// fewer, cold-start effects (first touches, cold caches, cold PTEs)
 /// dominate the per-miss numbers.
 pub const MIN_MISSES: u64 = 60;
+
+/// The budget-probe length miss density is sampled over.
+#[must_use]
+pub fn probe_insts(base_insts: u64) -> u64 {
+    50_000.min(base_insts.max(1))
+}
+
+/// Scales `base_insts` so a measurement averages over at least
+/// [`MIN_MISSES`] misses, given `misses` observed over `probe`
+/// instructions. Shared by every budget path — the memoized runner, the
+/// free [`insts_for`], and the naive baseline's fast-forward probe — so
+/// they always agree on the per-kernel budget.
+#[must_use]
+pub fn scale_budget(misses: u64, probe: u64, base_insts: u64) -> u64 {
+    let density = misses.max(1) as f64 / probe as f64;
+    let needed = (MIN_MISSES as f64 / density).ceil() as u64;
+    base_insts.max(needed)
+}
 
 /// Scales the requested budget up for low-miss-density kernels so every
 /// measurement averages over at least [`MIN_MISSES`] misses (the paper's
 /// 100M-instruction runs did this implicitly).
 #[must_use]
 pub fn insts_for(kernel: Kernel, seed: u64, base_insts: u64) -> u64 {
-    let probe = 50_000.min(base_insts.max(1));
-    let misses = arch_misses(kernel, seed, probe).max(1);
-    let density = misses as f64 / probe as f64;
-    let needed = (MIN_MISSES as f64 / density).ceil() as u64;
-    base_insts.max(needed)
+    let probe = probe_insts(base_insts);
+    scale_budget(arch_misses(kernel, seed, probe), probe, base_insts)
 }
 
 /// The paper's §3 metric: `(cycles(mechanism) − cycles(perfect)) / misses`.
@@ -163,21 +243,39 @@ pub struct Args {
     pub seed: u64,
     /// Worker-pool size (`--jobs`, default 0 = all available cores).
     pub jobs: usize,
+    /// Tier-1 functional fast-forward length in instructions per thread
+    /// (`--skip`, default 0 = measure from instruction zero).
+    pub skip: u64,
+    /// Reuse one cached checkpoint per workload across all configurations
+    /// (`--checkpoint on|off`, default on). `off` rebuilds per run — same
+    /// rows, no reuse — and at `--skip 0` bypasses checkpoints entirely.
+    pub checkpoint: bool,
+    /// Tier-2 idle-cycle skipping in the detailed core (`--idle-skip
+    /// on|off`, default on). Bit-identical rows either way.
+    pub idle_skip: bool,
     /// Machine-readable report destination (`--json PATH`).
     pub json: Option<std::path::PathBuf>,
 }
 
 impl Default for Args {
     fn default() -> Args {
-        Args { insts: DEFAULT_INSTS, seed: 42, jobs: 0, json: None }
+        Args {
+            insts: DEFAULT_INSTS,
+            seed: 42,
+            jobs: 0,
+            skip: 0,
+            checkpoint: true,
+            idle_skip: true,
+            json: None,
+        }
     }
 }
 
 /// Parses the experiment flags from argv: `--insts N`, `--seed N`,
-/// `--jobs N` and `--json PATH`. Unknown or malformed arguments abort with
-/// a usage message — a silently ignored typo (`--inst 500000`) would
-/// otherwise run the full default-budget experiment and report it as the
-/// requested one.
+/// `--jobs N`, `--skip N`, `--checkpoint on|off`, `--idle-skip on|off` and
+/// `--json PATH`. Unknown or malformed arguments abort with a usage
+/// message — a silently ignored typo (`--inst 500000`) would otherwise run
+/// the full default-budget experiment and report it as the requested one.
 #[must_use]
 pub fn parse_args() -> Args {
     match parse_arg_list(std::env::args().skip(1)) {
@@ -185,7 +283,8 @@ pub fn parse_args() -> Args {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: <experiment> [--insts N] [--seed N] [--jobs N] [--json PATH]"
+                "usage: <experiment> [--insts N] [--seed N] [--jobs N] [--skip N] \
+                 [--checkpoint on|off] [--idle-skip on|off] [--json PATH]"
             );
             std::process::exit(2);
         }
@@ -216,6 +315,17 @@ pub fn parse_arg_list<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, S
                     .parse()
                     .map_err(|e| format!("--jobs: {e}"))?;
             }
+            "--skip" => {
+                args.skip = value_for("--skip")?
+                    .parse()
+                    .map_err(|e| format!("--skip: {e}"))?;
+            }
+            "--checkpoint" => {
+                args.checkpoint = parse_on_off("--checkpoint", &value_for("--checkpoint")?)?;
+            }
+            "--idle-skip" => {
+                args.idle_skip = parse_on_off("--idle-skip", &value_for("--idle-skip")?)?;
+            }
             "--json" => {
                 args.json = Some(value_for("--json")?.into());
             }
@@ -223,6 +333,14 @@ pub fn parse_arg_list<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, S
         }
     }
     Ok(args)
+}
+
+fn parse_on_off(flag: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("{flag}: expected `on` or `off`, got `{other}`")),
+    }
 }
 
 /// Formats a row of `f64` cells after a left-justified label.
@@ -266,14 +384,28 @@ mod tests {
 
     #[test]
     fn parse_arg_list_accepts_all_flags() {
-        let argv = ["--insts", "5000", "--seed", "7", "--jobs", "3", "--json", "out.json"]
-            .iter()
-            .map(|s| s.to_string());
+        let argv = [
+            "--insts", "5000", "--seed", "7", "--jobs", "3", "--skip", "20000",
+            "--checkpoint", "off", "--idle-skip", "off", "--json", "out.json",
+        ]
+        .iter()
+        .map(|s| s.to_string());
         let args = parse_arg_list(argv).unwrap();
         assert_eq!(args.insts, 5_000);
         assert_eq!(args.seed, 7);
         assert_eq!(args.jobs, 3);
+        assert_eq!(args.skip, 20_000);
+        assert!(!args.checkpoint);
+        assert!(!args.idle_skip);
         assert_eq!(args.json.as_deref(), Some(std::path::Path::new("out.json")));
+    }
+
+    #[test]
+    fn two_tier_flags_default_to_fast_path() {
+        let args = parse_arg_list(std::iter::empty::<String>()).unwrap();
+        assert_eq!(args.skip, 0);
+        assert!(args.checkpoint, "checkpoint reuse is the default");
+        assert!(args.idle_skip, "idle-cycle skipping is the default");
     }
 
     #[test]
@@ -287,5 +419,11 @@ mod tests {
         assert!(parse_arg_list(["--jobs".to_string(), "x".to_string()])
             .unwrap_err()
             .contains("--jobs"));
+        assert!(parse_arg_list(["--checkpoint".to_string(), "maybe".to_string()])
+            .unwrap_err()
+            .contains("expected `on` or `off`"));
+        assert!(parse_arg_list(["--idle-skip".to_string(), "1".to_string()])
+            .unwrap_err()
+            .contains("--idle-skip"));
     }
 }

@@ -21,6 +21,12 @@ pub struct Report {
     pub seed: u64,
     /// Worker-pool size used.
     pub jobs: usize,
+    /// Tier-1 fast-forward length (instructions per thread).
+    pub skip: u64,
+    /// Whether the per-workload checkpoint cache was enabled.
+    pub checkpoint: bool,
+    /// Whether tier-2 idle-cycle skipping was enabled.
+    pub idle_skip: bool,
     /// Wall-clock for the whole experiment.
     pub wall: Duration,
     /// Cache counters from the runner.
@@ -57,6 +63,9 @@ impl Report {
         s.push_str(&format!("  \"insts\": {},\n", self.insts));
         s.push_str(&format!("  \"seed\": {},\n", self.seed));
         s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!("  \"skip\": {},\n", self.skip));
+        s.push_str(&format!("  \"checkpoint\": {},\n", self.checkpoint));
+        s.push_str(&format!("  \"idle_skip\": {},\n", self.idle_skip));
         s.push_str(&format!("  \"wall_ms\": {},\n", json_f64(self.wall.as_secs_f64() * 1e3)));
         s.push_str(&format!("  \"unique_runs\": {},\n", self.runner.unique_runs));
         s.push_str(&format!("  \"cache_hits\": {},\n", self.runner.cache_hits));

@@ -18,10 +18,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use smtx_core::{ExnMechanism, Machine, MachineConfig};
+use smtx_core::{Checkpoint, ExnMechanism, Machine, MachineConfig};
 use smtx_workloads::{kernel_reference, load_kernel, Kernel};
 
-use crate::{cycle_cap, RunResult, MIN_MISSES};
+use crate::{
+    cycle_cap, make_checkpoint, make_mix_checkpoint, probe_insts, scale_budget, RunResult,
+};
 
 /// Identity of one unique simulation: everything that influences the
 /// resulting [`smtx_core::Stats`].
@@ -113,6 +115,16 @@ enum JobKey {
     Mix(MixKey),
 }
 
+/// Identity of one reusable fast-forward checkpoint: `(workload, seed,
+/// skip)`. Config-independent by construction — the functional interpreter
+/// knows nothing about the machine configuration — which is exactly why one
+/// checkpoint serves every configuration of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CkKey {
+    Single(Kernel, u64, u64),
+    Mix([Kernel; 3], u64, u64),
+}
+
 /// Cache-effectiveness counters (all monotonic).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunnerStats {
@@ -132,9 +144,20 @@ pub struct RunnerStats {
 /// parallelism.
 pub struct Runner {
     jobs: usize,
+    /// Tier-1 fast-forward length (instructions skipped functionally before
+    /// the measurement window). 0 disables fast-forwarding.
+    skip: u64,
+    /// Reuse one cached checkpoint per `(workload, seed, skip)` across all
+    /// configurations. When off, every run rebuilds its checkpoint from
+    /// scratch (and a `skip == 0` run loads the kernel directly) — the rows
+    /// must come out identical either way; CI diffs them.
+    use_checkpoints: bool,
+    /// Tier-2 idle-cycle skipping in the detailed machine.
+    idle_skip: bool,
     sims: Mutex<HashMap<RunKey, Arc<RunResult>>>,
     refs: Mutex<HashMap<(Kernel, u64, u64), u64>>,
     mixes: Mutex<HashMap<MixKey, u64>>,
+    checkpoints: Mutex<HashMap<CkKey, Arc<Checkpoint>>>,
     unique_runs: AtomicU64,
     cache_hits: AtomicU64,
     sim_cycles: AtomicU64,
@@ -142,7 +165,9 @@ pub struct Runner {
 
 impl Runner {
     /// Creates a runner executing up to `jobs` simulations concurrently;
-    /// `0` selects the host's available parallelism.
+    /// `0` selects the host's available parallelism. Fast-forward defaults
+    /// to 0 instructions; checkpoint reuse and idle-cycle skipping default
+    /// to on.
     #[must_use]
     pub fn new(jobs: usize) -> Runner {
         let jobs = if jobs == 0 {
@@ -152,19 +177,52 @@ impl Runner {
         };
         Runner {
             jobs,
+            skip: 0,
+            use_checkpoints: true,
+            idle_skip: true,
             sims: Mutex::new(HashMap::new()),
             refs: Mutex::new(HashMap::new()),
             mixes: Mutex::new(HashMap::new()),
+            checkpoints: Mutex::new(HashMap::new()),
             unique_runs: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             sim_cycles: AtomicU64::new(0),
         }
     }
 
+    /// Sets the tier-1 functional fast-forward length (instructions per
+    /// thread skipped before the measurement window).
+    #[must_use]
+    pub fn with_skip(mut self, skip: u64) -> Runner {
+        self.skip = skip;
+        self
+    }
+
+    /// Enables or disables checkpoint reuse (`--checkpoint on|off`).
+    #[must_use]
+    pub fn with_checkpoint_cache(mut self, on: bool) -> Runner {
+        self.use_checkpoints = on;
+        self
+    }
+
+    /// Enables or disables tier-2 idle-cycle skipping in every simulated
+    /// machine (`--idle-skip on|off`).
+    #[must_use]
+    pub fn with_idle_skip(mut self, on: bool) -> Runner {
+        self.idle_skip = on;
+        self
+    }
+
     /// The configured parallelism degree.
     #[must_use]
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The configured fast-forward length.
+    #[must_use]
+    pub fn skip(&self) -> u64 {
+        self.skip
     }
 
     /// Cache-effectiveness counters.
@@ -180,6 +238,10 @@ impl Runner {
     /// Executes `jobs` across the worker pool, deduplicating within the
     /// batch and against already-cached results. Afterwards every query for
     /// one of these points is a cache hit.
+    ///
+    /// When checkpoint reuse is on, the distinct checkpoints the batch needs
+    /// are built first (in parallel), so concurrent sims of the same
+    /// workload share one fast-forward instead of racing to duplicate it.
     pub fn prefetch(&self, jobs: Vec<Job>) {
         let mut pending = Vec::with_capacity(jobs.len());
         let mut seen = std::collections::HashSet::new();
@@ -193,10 +255,43 @@ impl Runner {
         if pending.is_empty() {
             return;
         }
-        let workers = self.jobs.min(pending.len());
-        if workers <= 1 {
+        if self.use_checkpoints {
+            let mut ck_keys = Vec::new();
+            let mut ck_seen = std::collections::HashSet::new();
             for job in &pending {
-                self.execute(job);
+                let key = match job {
+                    Job::Sim { kernel, seed, .. } => CkKey::Single(*kernel, *seed, self.skip),
+                    Job::Ref { kernel, seed, .. } if self.skip > 0 => {
+                        CkKey::Single(*kernel, *seed, self.skip)
+                    }
+                    Job::Mix { mix, seed, .. } => CkKey::Mix(*mix, *seed, self.skip),
+                    Job::Ref { .. } => continue,
+                };
+                if ck_seen.insert(key) && !self.checkpoints.lock().expect("ck cache").contains_key(&key) {
+                    ck_keys.push(key);
+                }
+            }
+            self.for_each_parallel(ck_keys.len(), |i| {
+                match ck_keys[i] {
+                    CkKey::Single(kernel, seed, _) => {
+                        let _ = self.checkpoint_single(kernel, seed);
+                    }
+                    CkKey::Mix(mix, seed, _) => {
+                        let _ = self.checkpoint_mix(mix, seed);
+                    }
+                };
+            });
+        }
+        self.for_each_parallel(pending.len(), |i| self.execute(&pending[i]));
+    }
+
+    /// Runs `f(0..n)` across the worker pool (serially when `n` or the pool
+    /// is small).
+    fn for_each_parallel(&self, n: usize, f: impl Fn(usize) + Sync) {
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            for i in 0..n {
+                f(i);
             }
             return;
         }
@@ -205,11 +300,49 @@ impl Runner {
             for _ in 0..workers {
                 s.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = pending.get(i) else { break };
-                    self.execute(job);
+                    if i >= n {
+                        break;
+                    }
+                    f(i);
                 });
             }
         });
+    }
+
+    /// The (possibly cached) fast-forward checkpoint for one kernel.
+    fn checkpoint_single(&self, kernel: Kernel, seed: u64) -> Arc<Checkpoint> {
+        let key = CkKey::Single(kernel, seed, self.skip);
+        self.checkpoint_with(key, || make_checkpoint(kernel, seed, self.skip))
+    }
+
+    /// The (possibly cached) fast-forward checkpoint for a Fig. 7 mix.
+    fn checkpoint_mix(&self, mix: [Kernel; 3], seed: u64) -> Arc<Checkpoint> {
+        let key = CkKey::Mix(mix, seed, self.skip);
+        self.checkpoint_with(key, || make_mix_checkpoint(mix, seed, self.skip))
+    }
+
+    fn checkpoint_with(
+        &self,
+        key: CkKey,
+        build: impl FnOnce() -> Checkpoint,
+    ) -> Arc<Checkpoint> {
+        if self.use_checkpoints {
+            if let Some(hit) = self.checkpoints.lock().expect("ck cache").get(&key) {
+                return Arc::clone(hit);
+            }
+        }
+        // Built outside the lock; concurrent duplicates (callers racing
+        // past prefetch) waste work but cache a deterministic value.
+        let ck = Arc::new(build());
+        if !self.use_checkpoints {
+            return ck;
+        }
+        self.checkpoints
+            .lock()
+            .expect("ck cache")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&ck))
+            .clone()
     }
 
     fn is_cached(&self, key: &JobKey) -> bool {
@@ -256,7 +389,13 @@ impl Runner {
         // when callers race past prefetch) wastes work but, the simulator
         // being deterministic, never changes the cached value.
         let mut m = Machine::new(config.clone());
-        load_kernel(&mut m, 0, kernel, seed);
+        m.set_idle_skip(self.idle_skip);
+        if self.skip == 0 && !self.use_checkpoints {
+            load_kernel(&mut m, 0, kernel, seed);
+        } else {
+            let ck = self.checkpoint_single(kernel, seed);
+            m.restore(&ck);
+        }
         m.set_budget(0, insts);
         m.run(cycle_cap(insts));
         let stats = m.stats().clone();
@@ -285,9 +424,16 @@ impl Runner {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
-        let mut world = kernel_reference(kernel, seed);
-        world.run(insts);
-        let misses = world.interp.dtlb_misses();
+        let misses = if self.skip == 0 {
+            let mut world = kernel_reference(kernel, seed);
+            world.run(insts);
+            world.interp.dtlb_misses()
+        } else {
+            // Misses inside the measurement window: continue the functional
+            // model from the checkpoint with a cold DTLB — matching the
+            // restored machine's cold microarchitectural TLB.
+            self.checkpoint_single(kernel, seed).arch_misses_in_window(0, insts)
+        };
         self.unique_runs.fetch_add(1, Ordering::Relaxed);
         *self
             .refs
@@ -298,13 +444,11 @@ impl Runner {
     }
 
     /// Memoized [`crate::insts_for`]: scales `base_insts` so the kernel
-    /// averages at least [`MIN_MISSES`] architectural misses.
+    /// averages at least [`crate::MIN_MISSES`] architectural misses (density
+    /// sampled inside the measurement window when fast-forwarding).
     pub fn insts_for(&self, kernel: Kernel, seed: u64, base_insts: u64) -> u64 {
         let probe = probe_insts(base_insts);
-        let misses = self.arch_misses(kernel, seed, probe).max(1);
-        let density = misses as f64 / probe as f64;
-        let needed = (MIN_MISSES as f64 / density).ceil() as u64;
-        base_insts.max(needed)
+        scale_budget(self.arch_misses(kernel, seed, probe), probe, base_insts)
     }
 
     /// The paper's §3 metric, with both the mechanism run and the shared
@@ -330,8 +474,16 @@ impl Runner {
             return hit;
         }
         let mut m = Machine::new(config.clone());
-        for (tid, &k) in mix.iter().enumerate() {
-            load_kernel(&mut m, tid, k, seed + tid as u64);
+        m.set_idle_skip(self.idle_skip);
+        if self.skip == 0 && !self.use_checkpoints {
+            for (tid, &k) in mix.iter().enumerate() {
+                load_kernel(&mut m, tid, k, seed + tid as u64);
+            }
+        } else {
+            let ck = self.checkpoint_mix(mix, seed);
+            m.restore(&ck);
+        }
+        for tid in 0..3 {
             m.set_budget(tid, insts);
         }
         m.run(cycle_cap(insts * 3));
@@ -376,11 +528,6 @@ impl Runner {
     }
 }
 
-/// The budget-probe length [`Runner::insts_for`] samples miss density over.
-fn probe_insts(base_insts: u64) -> u64 {
-    50_000.min(base_insts.max(1))
-}
-
 /// `config` with the mechanism swapped for the perfect TLB (the penalty
 /// metric's baseline).
 #[must_use]
@@ -419,6 +566,19 @@ mod tests {
         // Second mechanism adds exactly one new simulation — the perfect
         // baseline and the reference run are shared.
         assert_eq!(runner.stats().unique_runs, unique_after_first + 1);
+    }
+
+    #[test]
+    fn cached_and_fresh_checkpoints_yield_identical_runs() {
+        let cfg = config_with_idle(ExnMechanism::Multithreaded, 1);
+        let cached = Runner::new(1).with_skip(2_000);
+        let uncached = Runner::new(1).with_skip(2_000).with_checkpoint_cache(false);
+        let a = cached.run(Kernel::Compress, 42, 3_000, &cfg);
+        let b = uncached.run(Kernel::Compress, 42, 3_000, &cfg);
+        assert_eq!(a.stats, b.stats, "checkpoint reuse must not change results");
+        // A second config against the cached runner reuses the checkpoint.
+        let hw = config_with_idle(ExnMechanism::Hardware, 1);
+        let _ = cached.run(Kernel::Compress, 42, 3_000, &hw);
     }
 
     #[test]

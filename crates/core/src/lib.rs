@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 pub mod dyninst;
 pub mod exec;
@@ -51,6 +52,7 @@ mod refmodel;
 mod stats;
 mod thread;
 
+pub use checkpoint::{Checkpoint, ThreadCheckpoint};
 pub use config::{ExnMechanism, FuConfig, LimitKnobs, MachineConfig};
 pub use machine::{ActiveHandler, HandlerKind, Machine, RetireEvent};
 pub use refmodel::{Interpreter, RefError, RunSummary};

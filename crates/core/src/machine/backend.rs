@@ -86,50 +86,79 @@ impl Machine {
         }
 
         // Oldest fetched first, across all threads (paper Table 1). The
-        // window is an unordered map, so collect the (typically short) list
-        // of issuable candidates into the reusable scratch buffer and sort
-        // it — same order a sorted-map walk would produce.
-        let mut candidates = std::mem::take(&mut self.scratch_seqs);
-        candidates.clear();
-        // `srcs_ready` can only change at rename or completion time, never
-        // mid-issue-phase, so filtering here (before the sort) keeps the
-        // candidate list short without changing which instructions issue.
-        candidates.extend(self.window.iter().filter_map(|(&s, i)| {
-            (!i.issued
-                && !i.done
-                && i.waiting_tlb.is_none()
-                && i.earliest_issue <= now
-                && i.srcs_ready())
-            .then_some(s)
-        }));
-        candidates.sort_unstable();
-
+        // window is an unordered map; instead of scanning all of it every
+        // cycle, the scheduler walks `ready_seqs` — the superset of
+        // issuable candidates maintained at rename and wake-up time — in
+        // sorted order, which is the same order the old full scan produced.
+        // Entries are re-validated on sight and compacted in place: a seq
+        // that turns out squashed, issued or parked is dropped (its next
+        // wake-up re-adds it), one that stays eligible is retained.
+        while let Some(&Reverse((at, _))) = self.pending_issue.peek() {
+            if at > now {
+                break;
+            }
+            let Reverse((_, seq)) = self.pending_issue.pop().expect("just peeked");
+            self.ready_seqs.push(seq);
+        }
+        self.ready_seqs.sort_unstable();
+        self.ready_seqs.dedup();
         let scan_all = self.config.limits.free_execute_bandwidth;
-        for &seq in &candidates {
+        let start_len = self.ready_seqs.len();
+        let mut keep = 0;
+        let mut idx = 0;
+        while idx < start_len {
             // Once the issue width is exhausted nothing further can issue
             // (unless handler instructions execute for free).
             if fu.width == 0 && !scan_all {
                 break;
             }
+            let seq = self.ready_seqs[idx];
+            idx += 1;
             // Re-validate: earlier candidates may have squashed this one or
             // resolved state may have changed.
-            let Some(inst) = self.window.get(&seq) else { continue };
-            if inst.issued || inst.done || inst.waiting_tlb.is_some() || !inst.srcs_ready() {
-                continue;
+            let retain = 'v: {
+                let Some(inst) = self.window.get(&seq) else { break 'v false };
+                if inst.issued || inst.done || inst.waiting_tlb.is_some() || !inst.srcs_ready() {
+                    break 'v false;
+                }
+                if inst.earliest_issue > now {
+                    break 'v true; // eligible in a future cycle
+                }
+                if !self.issue_ready(seq) {
+                    break 'v true; // blocked on ordering, not wake-ups
+                }
+                let tid = inst.tid;
+                let op = inst.inst.op;
+                let handler_free = self.config.limits.free_execute_bandwidth
+                    && self.threads[tid].is_handler();
+                if !handler_free && !fu.take(op.fu_class()) {
+                    break 'v true; // FU pool exhausted; retry next cycle
+                }
+                self.execute_one(seq, now);
+                // Execution can return the instruction to the window still
+                // eligible (DIVU emulation with no idle context, a trap
+                // refused on a non-running thread): keep it retrying.
+                match self.window.get(&seq) {
+                    Some(i) => {
+                        !i.issued && !i.done && i.waiting_tlb.is_none() && i.srcs_ready()
+                    }
+                    None => false,
+                }
+            };
+            if retain {
+                self.ready_seqs[keep] = seq;
+                keep += 1;
             }
-            if !self.issue_ready(seq) {
-                continue;
-            }
-            let tid = inst.tid;
-            let op = inst.inst.op;
-            let handler_free = self.config.limits.free_execute_bandwidth
-                && self.threads[tid].is_handler();
-            if !handler_free && !fu.take(op.fu_class()) {
-                continue;
-            }
-            self.execute_one(seq, now);
         }
-        self.scratch_seqs = candidates;
+        // Entries left unexamined by the width cutoff are retained; anything
+        // appended mid-scan (a wake-up fired by a squash) sits past
+        // `start_len` and survives the compaction untouched.
+        while idx < start_len {
+            self.ready_seqs[keep] = self.ready_seqs[idx];
+            keep += 1;
+            idx += 1;
+        }
+        self.ready_seqs.drain(keep..start_len);
     }
 
     /// Non-resource issue preconditions: conservative memory
@@ -368,11 +397,15 @@ impl Machine {
         let pred = inst.pred;
         let actual_next = inst.actual_next;
 
-        // Wake consumers.
+        // Wake consumers; one whose last operand just resolved enters the
+        // issue scheduler's wake-up list.
         if let Some(consumers) = self.consumers.remove(&seq) {
             for (c, slot) in consumers {
                 if let Some(ci) = self.window.get_mut(&c) {
                     ci.srcs[slot] = crate::dyninst::SrcState::Value(result);
+                    if ci.srcs_ready() {
+                        self.ready_seqs.push(c);
+                    }
                 }
             }
         }
@@ -486,6 +519,7 @@ impl Machine {
             for w in ws {
                 if let Some(i) = self.window.get_mut(&w) {
                     i.waiting_tlb = None;
+                    self.ready_seqs.push(w);
                 }
             }
         }
@@ -513,7 +547,7 @@ impl Machine {
         }
     }
 
-    fn can_retire_head(&self, tid: usize) -> bool {
+    pub(crate) fn can_retire_head(&self, tid: usize) -> bool {
         let t = &self.threads[tid];
         if matches!(t.state, ThreadState::Idle | ThreadState::Halted) {
             return false;

@@ -12,7 +12,7 @@ impl Machine {
     // ================================================================
 
     /// Whether context `tid` can fetch this cycle.
-    fn fetchable(&self, tid: usize, now: u64) -> bool {
+    pub(crate) fn fetchable(&self, tid: usize, now: u64) -> bool {
         let t = &self.threads[tid];
         matches!(t.state, ThreadState::Run | ThreadState::Exception { .. })
             && !t.fetch_stopped
@@ -377,6 +377,12 @@ impl Machine {
             }
         }
         self.threads[tid].rob.push_back(fe.seq);
+        // Born with all operands resolved → staged for the issue scheduler
+        // until its scheduling delay elapses (otherwise the last operand
+        // completion puts it on the wake-up list).
+        if di.srcs_ready() {
+            self.pending_issue.push(std::cmp::Reverse((earliest_issue, fe.seq)));
+        }
         self.window.insert(fe.seq, di);
     }
 }

@@ -108,10 +108,31 @@ pub struct Machine {
     pub(crate) emul_base: u64,
     pub(crate) emul_len: usize,
     pub(crate) stats: Stats,
+    /// Tier-2 fast path: when on, [`Machine::run`] jumps over provably idle
+    /// cycles instead of ticking through them. Deliberately *not* part of
+    /// [`MachineConfig`] — it changes wall time, never simulated behavior,
+    /// so it must not perturb config digests or run keys.
+    pub(crate) idle_skip: bool,
+    /// Cycles elapsed via idle-skip jumps rather than `step_cycle` (a
+    /// diagnostic; intentionally not part of [`Stats`], which must stay
+    /// bit-identical with skipping on or off).
+    pub(crate) skipped_cycles: u64,
     pub(crate) retire_log: Option<Vec<RetireEvent>>,
-    /// Reused per-cycle scratch for the issue scan's candidate list (avoids
-    /// one allocation per simulated cycle).
-    pub(crate) scratch_seqs: Vec<u64>,
+    /// The issue scheduler's wake-up list: a conservative *superset* of the
+    /// sequence numbers that could issue — maintained at rename and at every
+    /// wake-up site (operand completion, TLB-fill wake, handler release)
+    /// instead of re-scanning the whole window each cycle. Entries are
+    /// re-validated against the window on every use, so stale seqs
+    /// (squashed, issued, parked) are dropped on sight; correctness only
+    /// requires that every genuinely issuable instruction is present.
+    pub(crate) ready_seqs: Vec<u64>,
+    /// Instructions renamed with all operands already resolved, staged as
+    /// `(earliest_issue, seq)` until their scheduling delay elapses — they
+    /// would otherwise sit in `ready_seqs` for `issue_delay` cycles being
+    /// re-validated for nothing. The issue phase drains due entries into
+    /// `ready_seqs`; stale (squashed) entries are caught by the same
+    /// re-validation there.
+    pub(crate) pending_issue: BinaryHeap<Reverse<(u64, u64)>>,
     /// Reused per-cycle scratch for the decode-order thread list.
     pub(crate) scratch_order: Vec<usize>,
 }
@@ -162,8 +183,11 @@ impl Machine {
             pal_len: 0,
             emul_base: 0,
             emul_len: 0,
+            idle_skip: true,
+            skipped_cycles: 0,
             retire_log: None,
-            scratch_seqs: Vec::new(),
+            ready_seqs: Vec::new(),
+            pending_issue: BinaryHeap::new(),
             scratch_order: Vec::new(),
         }
     }
@@ -382,8 +406,27 @@ impl Machine {
         self.threads[tid].budget = Some(budget);
     }
 
+    /// Enables or disables tier-2 idle-cycle skipping in [`Machine::run`]
+    /// (on by default). Skipping is a pure wall-time optimization: the
+    /// resulting [`Stats`] are bit-identical either way.
+    pub fn set_idle_skip(&mut self, on: bool) {
+        self.idle_skip = on;
+    }
+
+    /// Cycles that elapsed via idle-skip jumps instead of `step_cycle`.
+    #[must_use]
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
     /// Runs until every application thread has halted (HALT retired or
     /// budget reached) or `max_cycles` elapse. Returns the statistics.
+    ///
+    /// With idle-cycle skipping on (the default), provably idle stretches —
+    /// every thread stalled on a long-latency miss, nothing fetchable,
+    /// decodable, issuable, or retirable — are jumped in one step to the
+    /// next cycle at which anything can happen, with accounting identical
+    /// to ticking through them.
     pub fn run(&mut self, max_cycles: u64) -> &Stats {
         let deadline = self.cycle + max_cycles;
         while self.cycle < deadline
@@ -392,10 +435,140 @@ impl Machine {
                 .iter()
                 .any(|t| matches!(t.state, ThreadState::Run))
         {
+            if self.idle_skip {
+                if let Some(wake) = self.next_wake(self.cycle) {
+                    // Nothing can change before `wake`: jump straight there,
+                    // charging exactly what the naive loop would have. A
+                    // wedged machine (wake == u64::MAX) jumps to the
+                    // deadline, again matching the naive loop's stats.
+                    let target = wake.clamp(self.cycle + 1, deadline);
+                    if !self.handlers.is_empty() {
+                        self.stats.handler_active_cycles += target - self.cycle;
+                    }
+                    self.skipped_cycles += target - self.cycle;
+                    self.cycle = target;
+                    self.stats.cycles = self.cycle;
+                    continue;
+                }
+            }
             self.step_cycle();
         }
         self.stats.cycles = self.cycle;
         &self.stats
+    }
+
+    /// Idle-cycle analysis for tier-2 skipping: `None` if some phase of
+    /// `step_cycle` could make progress (or mutate any state) at `now`,
+    /// otherwise `Some(wake)` — the earliest future cycle at which anything
+    /// can happen (`u64::MAX` if the machine is wedged).
+    ///
+    /// Soundness rests on one invariant of the model: between events, every
+    /// phase gates on thresholds (`ready_at`, `earliest_issue`, `done_at`,
+    /// `fetch_stalled_until`, the event heap) that only *pass* as `now`
+    /// advances, and the memory system mutates only when accessed. So if no
+    /// gate passes at `now`, stepping is a no-op (modulo the cycle counter
+    /// and `handler_active_cycles`, which the skip accounts for) until the
+    /// minimum future threshold. Being conservative is always safe here: a
+    /// `None` merely falls back to `step_cycle`.
+    fn next_wake(&self, now: u64) -> Option<u64> {
+        let mut wake = u64::MAX;
+
+        // Completion events.
+        if let Some(&Reverse((at, _))) = self.events.peek() {
+            if at <= now {
+                return None;
+            }
+            wake = wake.min(at);
+        }
+
+        // Hardware page walks: an un-issued walk (`done_at == None`) grabs
+        // a cache port in the next issue phase, so it is always progress.
+        for w in &self.walks {
+            match w.done_at {
+                None => return None,
+                Some(d) if d <= now => return None,
+                Some(d) => wake = wake.min(d),
+            }
+        }
+
+        // Retirement. This must be checked explicitly: a handler release in
+        // a previous cycle can make a head retirable without any event
+        // pending (e.g. the master's excepting instruction after RFE).
+        for tid in 0..self.threads.len() {
+            if self.can_retire_head(tid) {
+                return None;
+            }
+        }
+
+        // Fetch: a fetchable thread fetches; a thread blocked *only* by an
+        // I-cache stall becomes fetchable when the stall expires.
+        for (tid, t) in self.threads.iter().enumerate() {
+            if self.fetchable(tid, now) {
+                return None;
+            }
+            if matches!(t.state, ThreadState::Run | ThreadState::Exception { .. })
+                && !t.fetch_stopped
+                && t.redirect_wait.is_none()
+                && t.fetch_pipe.len() + t.fetch_buffer.len() < self.config.fetch_buffer
+                && t.fetch_stalled_until > now
+            {
+                wake = wake.min(t.fetch_stalled_until);
+            }
+        }
+
+        // Decode: fetch-pipe fronts draining into the buffer, and buffer
+        // fronts entering the window.
+        for (tid, t) in self.threads.iter().enumerate() {
+            if let Some(front) = t.fetch_pipe.front() {
+                if t.fetch_buffer.len() < self.config.fetch_buffer {
+                    if front.ready_at <= now {
+                        return None;
+                    }
+                    wake = wake.min(front.ready_at);
+                }
+            }
+            if let Some(front) = t.fetch_buffer.front() {
+                // Handler insertion can mutate state even when it fails
+                // (the §4.4 deadlock-avoidance squash), so a ready handler
+                // front always blocks skipping. Non-handlers are pure
+                // admission checks; if the window is full, draining it
+                // requires retirement or squash activity that is tracked
+                // through the checks above.
+                let insertable = t.is_handler()
+                    || self.occupancy() + self.reserved_for_master(tid) < self.config.window;
+                if insertable {
+                    if front.ready_at <= now {
+                        return None;
+                    }
+                    wake = wake.min(front.ready_at);
+                }
+            }
+        }
+
+        // Issue: anything that could enter the candidate scan. Sources and
+        // TLB-wait status only change at rename or completion time, so a
+        // not-ready instruction stays not-ready until a tracked event.
+        // `ready_seqs` plus the staged `pending_issue` heap form a superset
+        // of those candidates by construction; re-validating each entry
+        // here gives the same answer as a full window scan. A stale staged
+        // entry can only make the wake *earlier* — conservative, so safe.
+        if let Some(&Reverse((at, _))) = self.pending_issue.peek() {
+            if at <= now {
+                return None;
+            }
+            wake = wake.min(at);
+        }
+        for &seq in &self.ready_seqs {
+            let Some(i) = self.window.get(&seq) else { continue };
+            if !i.issued && !i.done && i.waiting_tlb.is_none() && i.srcs_ready() {
+                if i.earliest_issue <= now {
+                    return None;
+                }
+                wake = wake.min(i.earliest_issue);
+            }
+        }
+
+        Some(wake)
     }
 
     /// Advances the machine one cycle.
@@ -545,6 +718,7 @@ impl Machine {
             for w in ws {
                 if let Some(i) = self.window.get_mut(&w) {
                     i.waiting_tlb = None;
+                    self.ready_seqs.push(w);
                 }
             }
         }
@@ -588,6 +762,18 @@ impl Machine {
                 assert!(Some(s) > prev, "rob out of order for thread {tid}");
                 assert_eq!(self.window[&s].tid, tid, "window entry wrong thread");
                 prev = Some(s);
+            }
+        }
+        // The wake-up list must stay a superset of the issuable set: if an
+        // instruction could issue but is missing from `ready_seqs`, the
+        // scheduler would silently never consider it.
+        for (&s, i) in &self.window {
+            if !i.issued && !i.done && i.waiting_tlb.is_none() && i.srcs_ready() {
+                assert!(
+                    self.ready_seqs.contains(&s)
+                        || self.pending_issue.iter().any(|&Reverse((_, q))| q == s),
+                    "issuable seq {s} missing from the wake-up list"
+                );
             }
         }
     }

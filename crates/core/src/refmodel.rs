@@ -111,10 +111,21 @@ impl Interpreter {
     /// a 64-entry architectural DTLB (for miss counting only).
     #[must_use]
     pub fn new(entry: u64) -> Interpreter {
+        Interpreter::from_state(entry, [0; 32], [0; 32])
+    }
+
+    /// Creates an interpreter resuming from a captured architectural state:
+    /// `pc` plus committed integer and floating-point register files. The
+    /// DTLB starts cold and `retired` starts at zero, so miss and retirement
+    /// counts cover only the resumed region — exactly what the two-tier
+    /// engine needs to count misses inside a post-fast-forward measurement
+    /// window.
+    #[must_use]
+    pub fn from_state(pc: u64, int: [u64; 32], fp: [u64; 32]) -> Interpreter {
         Interpreter {
-            int: [0; 32],
-            fp: [0; 32],
-            pc: entry,
+            int,
+            fp,
+            pc,
             halted: false,
             retired: 0,
             dtlb: Tlb::new(64),

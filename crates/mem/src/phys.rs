@@ -1,6 +1,13 @@
 //! Sparse physical memory and a bump frame allocator.
 
+use std::sync::Arc;
+
 use crate::{Paddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
+
+/// One page frame's backing store. Boxed behind an [`Arc`] so cloning a
+/// whole [`PhysMem`] (checkpoint capture/restore) is a refcount bump per
+/// frame; the write path un-shares lazily via [`Arc::make_mut`].
+type Page = [u8; PAGE_SIZE as usize];
 
 /// Simulated physical memory, allocated lazily one page frame at a time.
 ///
@@ -13,6 +20,12 @@ use crate::{Paddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 /// instead of a hash lookup (this is on the fetch/load/store fast path of
 /// every simulated cycle).
 ///
+/// Cloning is cheap: pages are copy-on-write, so a clone shares every
+/// resident frame with the original and copies a frame only when one side
+/// writes to it. The two-tier engine leans on this — one fast-forwarded
+/// checkpoint image is replayed into many machine configurations without
+/// duplicating the memory image per run.
+///
 /// ```
 /// use smtx_mem::PhysMem;
 /// let mut pm = PhysMem::new();
@@ -23,7 +36,7 @@ use crate::{Paddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 #[derive(Debug, Clone, Default)]
 pub struct PhysMem {
     /// `pages[frame]` is the frame's backing store, `None` if untouched.
-    pages: Vec<Option<Box<[u8]>>>,
+    pages: Vec<Option<Arc<Page>>>,
 }
 
 impl PhysMem {
@@ -45,8 +58,19 @@ impl PhysMem {
         if frame >= self.pages.len() {
             self.pages.resize(frame + 1, None);
         }
-        self.pages[frame]
-            .get_or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        let arc = self.pages[frame].get_or_insert_with(|| Arc::new([0u8; PAGE_SIZE as usize]));
+        // Copy-on-write: un-share the frame if a clone still references it.
+        &mut Arc::make_mut(arc)[..]
+    }
+
+    /// Number of resident frames whose backing store is shared with another
+    /// `PhysMem` clone (diagnostic for the copy-on-write checkpoint path).
+    #[must_use]
+    pub fn shared_pages(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| p.as_ref().is_some_and(|a| Arc::strong_count(a) > 1))
+            .count()
     }
 
     /// Reads an aligned 64-bit word.
@@ -230,6 +254,29 @@ mod tests {
         assert_eq!(a.content_hash(), b.content_hash());
         b.write_u64(0x4008, 9);
         assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn clones_share_pages_until_written() {
+        let mut a = PhysMem::new();
+        a.write_u64(0x2000, 11);
+        a.write_u64(0x4000, 22);
+        let mut b = a.clone();
+        assert_eq!(a.shared_pages(), 2);
+        assert_eq!(b.shared_pages(), 2);
+        // Writing through the clone un-shares only the touched frame and
+        // leaves the original's view intact.
+        b.write_u64(0x2000, 99);
+        assert_eq!(a.read_u64(0x2000), 11);
+        assert_eq!(b.read_u64(0x2000), 99);
+        assert_eq!(a.shared_pages(), 1);
+        assert_eq!(b.read_u64(0x4000), 22);
+        assert_eq!(a.content_hash(), {
+            let mut c = PhysMem::new();
+            c.write_u64(0x2000, 11);
+            c.write_u64(0x4000, 22);
+            c.content_hash()
+        });
     }
 
     #[test]
