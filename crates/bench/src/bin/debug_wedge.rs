@@ -10,7 +10,12 @@ fn main() {
         Some("mt") => ExnMechanism::Multithreaded,
         Some("hw") => ExnMechanism::Hardware,
         Some("qs") => ExnMechanism::QuickStart,
-        _ => ExnMechanism::Traditional,
+        Some("trad") | None => ExnMechanism::Traditional,
+        Some(other) => {
+            eprintln!("error: unknown mechanism `{other}`");
+            eprintln!("usage: debug_wedge [trad|mt|hw|qs]");
+            std::process::exit(2);
+        }
     };
     let mut m = smtx_core::Machine::new(config_with_idle(mech, 1));
     load_kernel(&mut m, 0, Kernel::Compress, 42);

@@ -2,31 +2,10 @@
 //! function of pipeline length (3, 7, 11 stages between fetch and execute),
 //! 8-wide machine.
 
-use smtx_bench::{config_with_idle, penalty_table, Experiment};
-use smtx_core::ExnMechanism;
+use smtx_bench::{figures, Experiment};
 
 fn main() {
     let mut exp = Experiment::new("fig2");
-    exp.banner(&[
-        "Figure 2 — traditional-handler penalty cycles per miss vs. pipeline depth",
-        "paper: slope ~2 penalty cycles per pipe stage (two refills per trap)",
-    ]);
-    let configs = [
-        (
-            "3 stages",
-            config_with_idle(ExnMechanism::Traditional, 1).with_pipe_depth(3),
-        ),
-        (
-            "7 stages",
-            config_with_idle(ExnMechanism::Traditional, 1).with_pipe_depth(7),
-        ),
-        (
-            "11 stages",
-            config_with_idle(ExnMechanism::Traditional, 1).with_pipe_depth(11),
-        ),
-    ];
-    let avg = penalty_table(&mut exp, &configs);
-    let slope = (avg[2] - avg[0]) / 8.0;
-    println!("\nmeasured average slope: {slope:.2} penalty cycles per pipe stage");
+    figures::fig2(&mut exp);
     exp.finish();
 }

@@ -6,59 +6,10 @@
 //! machine; a rising curve means wider machines lose a larger *fraction* of
 //! their time to miss handling.
 
-use smtx_bench::runner::perfect_of;
-use smtx_bench::{config_with_idle, header, Experiment, Job, Runner};
-use smtx_core::{ExnMechanism, MachineConfig};
-use smtx_workloads::Kernel;
-
-fn width_config(width: usize, window: usize) -> MachineConfig {
-    config_with_idle(ExnMechanism::Traditional, 1).with_width_window(width, window)
-}
-
-fn tlb_fraction(runner: &Runner, k: Kernel, seed: u64, insts: u64, w: usize, win: usize) -> f64 {
-    let cfg = width_config(w, win);
-    let run = runner.run(k, seed, insts, &cfg);
-    let base = runner.run(k, seed, insts, &perfect_of(&cfg));
-    (run.cycles as f64 - base.cycles as f64) / run.cycles as f64
-}
+use smtx_bench::{figures, Experiment};
 
 fn main() {
     let mut exp = Experiment::new("fig3");
-    exp.banner(&[
-        "Figure 3 — relative TLB execution percentage vs. superscalar width",
-        "paper: wider machines spend a larger share of time on TLB handling",
-        "values are normalized to the 2-wide machine (2-wide = 1.0)",
-    ]);
-    let sweep = [(2usize, 32usize), (4, 64), (8, 128)];
-    println!("{}", header("bench", &["2w/32", "4w/64", "8w/128"]));
-
-    let (seed, insts) = (exp.args.seed, exp.args.insts);
-    let budgets = exp.runner.insts_map(&Kernel::ALL, seed, insts);
-    let mut jobs = Vec::new();
-    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        for &(w, win) in &sweep {
-            let cfg = width_config(w, win);
-            jobs.push(Job::Sim { kernel: k, seed, insts, config: perfect_of(&cfg) });
-            jobs.push(Job::Sim { kernel: k, seed, insts, config: cfg });
-        }
-    }
-    exp.runner.prefetch(jobs);
-
-    exp.report.columns = vec!["2w/32".into(), "4w/64".into(), "8w/128".into()];
-    let mut sums = vec![0.0; sweep.len()];
-    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        let fracs: Vec<f64> = sweep
-            .iter()
-            .map(|&(w, win)| tlb_fraction(&exp.runner, k, seed, insts, w, win))
-            .collect();
-        let base = fracs[0].max(1e-9);
-        let cells: Vec<f64> = fracs.iter().map(|f| f / base).collect();
-        for (s, c) in sums.iter_mut().zip(&cells) {
-            *s += c;
-        }
-        exp.emit_row(k.name(), &cells);
-    }
-    let avg: Vec<f64> = sums.iter().map(|s| s / Kernel::ALL.len() as f64).collect();
-    exp.emit_row("average", &avg);
+    figures::fig3(&mut exp);
     exp.finish();
 }

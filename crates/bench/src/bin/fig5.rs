@@ -2,21 +2,10 @@
 //! handler, multithreaded(1), multithreaded(3) and the hardware walker,
 //! per benchmark plus the average.
 
-use smtx_bench::{config_with_idle, penalty_table, Experiment};
-use smtx_core::ExnMechanism;
+use smtx_bench::{figures, Experiment};
 
 fn main() {
     let mut exp = Experiment::new("fig5");
-    exp.banner(&[
-        "Figure 5 — relative TLB miss performance (penalty cycles per miss)",
-        "paper averages: traditional 22.7, multi(1) 11.7, multi(3) 11.0, hardware 7.3",
-    ]);
-    let configs = [
-        ("traditional", config_with_idle(ExnMechanism::Traditional, 1)),
-        ("multi(1)", config_with_idle(ExnMechanism::Multithreaded, 1)),
-        ("multi(3)", config_with_idle(ExnMechanism::Multithreaded, 3)),
-        ("hardware", config_with_idle(ExnMechanism::Hardware, 1)),
-    ];
-    penalty_table(&mut exp, &configs);
+    figures::fig5(&mut exp);
     exp.finish();
 }

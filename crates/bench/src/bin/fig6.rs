@@ -2,25 +2,10 @@
 //! traditional, multithreaded(1), quick-start(1) and hardware per
 //! benchmark.
 
-use smtx_bench::{config_with_idle, penalty_table, Experiment};
-use smtx_core::ExnMechanism;
+use smtx_bench::{figures, Experiment};
 
 fn main() {
     let mut exp = Experiment::new("fig6");
-    exp.banner(&[
-        "Figure 6 — quick-starting multithreaded handler (penalty cycles per miss)",
-        "paper: quick-start improves on multithreaded by ~1.7 cycles/miss on average",
-    ]);
-    let configs = [
-        ("traditional", config_with_idle(ExnMechanism::Traditional, 1)),
-        ("multi(1)", config_with_idle(ExnMechanism::Multithreaded, 1)),
-        ("quick(1)", config_with_idle(ExnMechanism::QuickStart, 1)),
-        ("hardware", config_with_idle(ExnMechanism::Hardware, 1)),
-    ];
-    let avg = penalty_table(&mut exp, &configs);
-    println!(
-        "\nquick-start improvement over multithreaded: {:.2} cycles/miss",
-        avg[1] - avg[2]
-    );
+    figures::fig6(&mut exp);
     exp.finish();
 }

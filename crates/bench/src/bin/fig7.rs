@@ -1,68 +1,10 @@
 //! Figure 7: average TLB-miss penalties with three application threads
 //! plus one idle context, across the paper's eight benchmark mixes.
 
-use smtx_bench::{header, Experiment, Job};
-use smtx_core::{ExnMechanism, MachineConfig};
-use smtx_workloads::MIXES;
-
-fn mix_config(mechanism: ExnMechanism) -> MachineConfig {
-    MachineConfig::paper_baseline(mechanism).with_threads(4)
-}
+use smtx_bench::{figures, Experiment};
 
 fn main() {
     let mut exp = Experiment::new("fig7");
-    exp.banner(&[
-        "Figure 7 — TLB miss penalties with 3 applications on the SMT (+1 idle)",
-        "paper: multithreaded reduces the average penalty ~25%, quick-start ~30%",
-    ]);
-    let mechs = [
-        ("traditional", ExnMechanism::Traditional),
-        ("multi(1)", ExnMechanism::Multithreaded),
-        ("quick(1)", ExnMechanism::QuickStart),
-        ("hardware", ExnMechanism::Hardware),
-    ];
-    println!(
-        "{}",
-        header("mix", &mechs.iter().map(|(n, _)| *n).collect::<Vec<_>>())
-    );
-
-    let (seed, insts) = (exp.args.seed, exp.args.insts);
-    let mut jobs = Vec::new();
-    for mix in MIXES {
-        for (tid, &k) in mix.iter().enumerate() {
-            jobs.push(Job::Ref { kernel: k, seed: seed + tid as u64, insts });
-        }
-        jobs.push(Job::Mix { mix, seed, insts, config: mix_config(ExnMechanism::PerfectTlb) });
-        for &(_, mech) in &mechs {
-            jobs.push(Job::Mix { mix, seed, insts, config: mix_config(mech) });
-        }
-    }
-    exp.runner.prefetch(jobs);
-
-    exp.report.columns = mechs.iter().map(|(n, _)| n.to_string()).collect();
-    let mut sums = vec![0.0; mechs.len()];
-    for mix in MIXES {
-        let label: String = mix.iter().map(|k| k.tag()).collect::<Vec<_>>().join("-");
-        let perfect = exp.runner.run_mix(mix, seed, insts, &mix_config(ExnMechanism::PerfectTlb));
-        let misses = exp.runner.mix_arch_misses(mix, seed, insts).max(1);
-        let cells: Vec<f64> = mechs
-            .iter()
-            .map(|&(_, mech)| {
-                let cycles = exp.runner.run_mix(mix, seed, insts, &mix_config(mech));
-                (cycles as f64 - perfect as f64) / misses as f64
-            })
-            .collect();
-        for (s, c) in sums.iter_mut().zip(&cells) {
-            *s += c;
-        }
-        exp.emit_row(&label, &cells);
-    }
-    let avg: Vec<f64> = sums.iter().map(|s| s / MIXES.len() as f64).collect();
-    exp.emit_row("average", &avg);
-    println!(
-        "\nreduction vs traditional: multi {:.0}%, quick-start {:.0}%",
-        (1.0 - avg[1] / avg[0]) * 100.0,
-        (1.0 - avg[2] / avg[0]) * 100.0
-    );
+    figures::fig7(&mut exp);
     exp.finish();
 }

@@ -1,44 +1,10 @@
 //! Table 2: the benchmark inventory — our kernels' realized TLB-miss
 //! densities next to the paper's published counts.
 
-use smtx_bench::{Experiment, Job};
-use smtx_workloads::Kernel;
+use smtx_bench::{figures, Experiment};
 
 fn main() {
     let mut exp = Experiment::new("table2");
-    exp.banner(&[
-        "Table 2 — benchmark suite: realized vs. paper TLB-miss density",
-        "(misses per 100M instructions; reference-interpreter DTLB, 64 entries)",
-    ]);
-    println!(
-        "{:<12} {:>16} {:>16} {:>8}",
-        "bench", "paper/100M", "ours/100M", "ratio"
-    );
-
-    let (seed, insts) = (exp.args.seed, exp.args.insts);
-    exp.runner.prefetch(
-        Kernel::ALL
-            .iter()
-            .map(|&k| Job::Ref { kernel: k, seed, insts })
-            .collect(),
-    );
-
-    exp.report.columns = vec!["paper/100M".into(), "ours/100M".into(), "ratio".into()];
-    for k in Kernel::ALL {
-        // Kernels always run to their full budget, so the realized density
-        // is misses-per-1000-retired scaled to a 100M-instruction window —
-        // the same arithmetic as `kernel_miss_density`.
-        let misses = exp.runner.arch_misses(k, seed, insts);
-        let ours = misses as f64 * 1000.0 / insts as f64 * 100_000.0;
-        let paper = k.paper_misses_per_100m() as f64;
-        println!(
-            "{:<12} {:>16.0} {:>16.0} {:>8.2}",
-            k.name(),
-            paper,
-            ours,
-            ours / paper
-        );
-        exp.report.push_row(k.name(), &[paper, ours, ours / paper]);
-    }
+    figures::table2(&mut exp);
     exp.finish();
 }

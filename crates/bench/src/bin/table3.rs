@@ -1,64 +1,10 @@
 //! Table 3: limit studies — average penalty cycles per miss with each
 //! overhead of the multithreaded mechanism removed in turn.
 
-use smtx_bench::runner::perfect_of;
-use smtx_bench::{config_with_idle, limit_config, Experiment, Job};
-use smtx_core::{ExnMechanism, LimitKnobs};
-use smtx_workloads::Kernel;
+use smtx_bench::{figures, Experiment};
 
 fn main() {
     let mut exp = Experiment::new("table3");
-    exp.banner(&[
-        "Table 3 — limit studies (average penalty cycles per miss)",
-        "paper: traditional 22.4, multi 11.0, -exec-bw 10.7, -window 10.5,",
-        "       -fetch/decode-bw 10.2, instant-fetch 8.5, hardware 7.1",
-    ]);
-
-    let rows: Vec<(&str, smtx_core::MachineConfig)> = vec![
-        ("Traditional Software", config_with_idle(ExnMechanism::Traditional, 3)),
-        ("Multithreaded", config_with_idle(ExnMechanism::Multithreaded, 3)),
-        (
-            "Multi w/o execute bandwidth overhead",
-            limit_config(LimitKnobs { free_execute_bandwidth: true, ..Default::default() }),
-        ),
-        (
-            "Multi w/o window overhead",
-            limit_config(LimitKnobs { free_window: true, ..Default::default() }),
-        ),
-        (
-            "Multi w/o fetch/decode bandwidth overhead",
-            limit_config(LimitKnobs { free_fetch_bandwidth: true, ..Default::default() }),
-        ),
-        (
-            "Multi w/ instant handler fetch/decode",
-            limit_config(LimitKnobs { instant_handler_fetch: true, ..Default::default() }),
-        ),
-        ("Hardware TLB miss handler", config_with_idle(ExnMechanism::Hardware, 3)),
-    ];
-
-    let seed = exp.args.seed;
-    let budgets = exp.runner.insts_map(&Kernel::ALL, seed, exp.args.insts);
-    let mut jobs = Vec::new();
-    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        jobs.push(Job::Ref { kernel: k, seed, insts });
-        for (_, cfg) in &rows {
-            jobs.push(Job::Sim { kernel: k, seed, insts, config: cfg.clone() });
-            jobs.push(Job::Sim { kernel: k, seed, insts, config: perfect_of(cfg) });
-        }
-    }
-    exp.runner.prefetch(jobs);
-
-    exp.report.columns = vec!["penalty/miss".into()];
-    println!("{:<44} {:>12}", "Configuration", "Penalty/Miss");
-    for (name, cfg) in rows {
-        let avg: f64 = Kernel::ALL
-            .iter()
-            .zip(&budgets)
-            .map(|(&k, &insts)| exp.runner.penalty_per_miss(k, seed, insts, &cfg))
-            .sum::<f64>()
-            / Kernel::ALL.len() as f64;
-        println!("{name:<44} {avg:>12.2}");
-        exp.report.push_row(name, &[avg]);
-    }
+    figures::table3(&mut exp);
     exp.finish();
 }

@@ -2,82 +2,10 @@
 //! Perfect / Hardware / Multi(1) / Multi(3) / Quick(1) / Quick(3), plus
 //! each benchmark's TLB-miss density and base IPC.
 
-use smtx_bench::{config_with_idle, Experiment, Job};
-use smtx_core::ExnMechanism;
-use smtx_workloads::Kernel;
+use smtx_bench::{figures, Experiment};
 
 fn main() {
     let mut exp = Experiment::new("table4");
-    exp.banner(&["Table 4 — speedups over traditional software handling"]);
-    println!(
-        "{:<10} {:>8} {:>12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9}",
-        "bench", "baseIPC", "misses/100M", "Perfect", "H/W", "Multi(1)", "Multi(3)", "Quick(1)", "Quick(3)"
-    );
-    let columns = [
-        ("Perfect", ExnMechanism::PerfectTlb, 1usize),
-        ("H/W", ExnMechanism::Hardware, 1),
-        ("Multi(1)", ExnMechanism::Multithreaded, 1),
-        ("Multi(3)", ExnMechanism::Multithreaded, 3),
-        ("Quick(1)", ExnMechanism::QuickStart, 1),
-        ("Quick(3)", ExnMechanism::QuickStart, 3),
-    ];
-
-    let seed = exp.args.seed;
-    let budgets = exp.runner.insts_map(&Kernel::ALL, seed, exp.args.insts);
-    let mut jobs = Vec::new();
-    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        jobs.push(Job::Ref { kernel: k, seed, insts });
-        jobs.push(Job::Sim {
-            kernel: k,
-            seed,
-            insts,
-            config: config_with_idle(ExnMechanism::Traditional, 1),
-        });
-        for (_, mech, idle) in columns {
-            jobs.push(Job::Sim { kernel: k, seed, insts, config: config_with_idle(mech, idle) });
-        }
-    }
-    exp.runner.prefetch(jobs);
-
-    exp.report.columns = vec![
-        "baseIPC".into(),
-        "misses/100M".into(),
-        "Perfect".into(),
-        "H/W".into(),
-        "Multi(1)".into(),
-        "Multi(3)".into(),
-        "Quick(1)".into(),
-        "Quick(3)".into(),
-    ];
-    for (&k, &insts) in Kernel::ALL.iter().zip(&budgets) {
-        let base =
-            exp.runner.run(k, seed, insts, &config_with_idle(ExnMechanism::Traditional, 1));
-        let misses_per_100m = base.arch_misses as f64 * 100.0e6 / insts as f64;
-        let mut cells = Vec::new();
-        for (_, mech, idle) in columns {
-            let run = exp.runner.run(k, seed, insts, &config_with_idle(mech, idle));
-            let speedup = (base.cycles as f64 / run.cycles as f64 - 1.0) * 100.0;
-            cells.push(speedup);
-        }
-        let perfect =
-            exp.runner.run(k, seed, insts, &config_with_idle(ExnMechanism::PerfectTlb, 1));
-        println!(
-            "{:<10} {:>8.1} {:>12.0} {:>8.1}% {:>7.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
-            k.name(),
-            perfect.ipc(),
-            misses_per_100m,
-            cells[0],
-            cells[1],
-            cells[2],
-            cells[3],
-            cells[4],
-            cells[5],
-        );
-        let mut row_cells = vec![perfect.ipc(), misses_per_100m];
-        row_cells.extend_from_slice(&cells);
-        exp.report.push_row(k.name(), &row_cells);
-    }
-    println!("\npaper (for scale): compress 12.9/9.0/6.8/7.3/7.8/8.4%, vortex 9.6/7.1/4.8/5.3/5.7/6.3%");
-    println!("paper base IPC: adm 4.3, apl 2.6, cmp 2.6, dbl 2.2, gcc 2.8, h2d 1.3, mph 3.9, vor 4.9");
+    figures::table4(&mut exp);
     exp.finish();
 }

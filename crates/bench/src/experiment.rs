@@ -7,6 +7,7 @@
 //! figures (2, 5, 6), which differ only in their configuration columns and
 //! footers.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use smtx_core::MachineConfig;
@@ -15,16 +16,22 @@ use smtx_workloads::Kernel;
 use crate::runner::perfect_of;
 use crate::{header, parse_args, row, Args, Job, Report, Runner};
 
-/// One experiment binary's shared state: parsed arguments, the memoizing
-/// runner (configured from the two-tier flags), the machine-readable
-/// report, and the wall clock.
+/// One experiment's shared state: parsed arguments, the memoizing runner
+/// (configured from the two-tier flags), the machine-readable report, and
+/// the wall clock.
+///
+/// The runner is held through an [`Arc`] so a long-lived service (`smtxd`)
+/// can run many experiments against *one* shared runner — every request
+/// then hits the same result, reference and checkpoint caches. Binaries
+/// simply own a fresh runner per process.
 pub struct Experiment {
     /// Parsed command line.
     pub args: Args,
-    /// The parallel memoizing executor.
-    pub runner: Runner,
+    /// The parallel memoizing executor (possibly shared across experiments).
+    pub runner: Arc<Runner>,
     /// The `--json` report being accumulated.
     pub report: Report,
+    quiet: bool,
     t0: Instant,
 }
 
@@ -38,15 +45,47 @@ impl Experiment {
     /// Builds the frame from explicit arguments (tests drive this).
     #[must_use]
     pub fn with_args(name: &str, args: Args) -> Experiment {
-        let runner = Runner::new(args.jobs)
-            .with_skip(args.skip)
-            .with_checkpoint_cache(args.checkpoint)
-            .with_idle_skip(args.idle_skip);
+        let runner = Arc::new(
+            Runner::new(args.jobs)
+                .with_skip(args.skip)
+                .with_checkpoint_cache(args.checkpoint)
+                .with_idle_skip(args.idle_skip),
+        );
+        Experiment::on_runner(name, args, runner)
+    }
+
+    /// Builds the frame on an existing (shared) runner. The two-tier fields
+    /// of the report are taken from the runner itself — the caller's `args`
+    /// only supply the budget, seed and output destination — so a served
+    /// report always describes the engine that actually produced it.
+    #[must_use]
+    pub fn on_runner(name: &str, mut args: Args, runner: Arc<Runner>) -> Experiment {
+        args.jobs = runner.jobs();
+        args.skip = runner.skip();
+        args.checkpoint = runner.checkpoint_cache();
+        args.idle_skip = runner.idle_skip();
         let mut report = Report::new(name, args.insts, args.seed, runner.jobs());
         report.skip = args.skip;
         report.checkpoint = args.checkpoint;
         report.idle_skip = args.idle_skip;
-        Experiment { args, runner, report, t0: Instant::now() }
+        Experiment { args, runner, report, quiet: false, t0: Instant::now() }
+    }
+
+    /// Silences stdout: rows and banners are still recorded in the report,
+    /// nothing is printed. The service frame runs every experiment quiet.
+    #[must_use]
+    pub fn quiet(mut self) -> Experiment {
+        self.quiet = true;
+        self
+    }
+
+    /// Prints `line` unless the experiment is quiet. All experiment output
+    /// funnels through here so the served (quiet) path exercises exactly
+    /// the code the binaries do, minus the terminal.
+    pub fn println(&self, line: &str) {
+        if !self.quiet {
+            println!("{line}");
+        }
     }
 
     /// Prints the experiment banner: the headline `lines`, the budget line,
@@ -56,28 +95,37 @@ impl Experiment {
     /// byte-identical (CI diffs it).
     pub fn banner(&self, lines: &[&str]) {
         for line in lines {
-            println!("{line}");
+            self.println(line);
         }
-        println!("per-thread instruction budget: {}", self.args.insts);
+        self.println(&format!("per-thread instruction budget: {}", self.args.insts));
         if self.args.skip > 0 {
-            println!("functional fast-forward: {} instructions", self.args.skip);
+            self.println(&format!("functional fast-forward: {} instructions", self.args.skip));
         }
-        println!();
+        self.println("");
     }
 
     /// Prints one table row and records it in the report.
     pub fn emit_row(&mut self, label: &str, cells: &[f64]) {
-        println!("{}", row(label, cells));
+        self.println(&row(label, cells));
         self.report.push_row(label, cells);
+    }
+
+    /// Stops the wall clock, folds in the runner counters, and returns the
+    /// finished report (the service frame serializes it as the job result).
+    #[must_use]
+    pub fn into_report(mut self) -> Report {
+        self.report.wall = self.t0.elapsed();
+        self.report.runner = self.runner.stats();
+        self.report
     }
 
     /// Stops the wall clock, folds in the runner counters, and writes the
     /// `--json` report if one was requested.
-    pub fn finish(mut self) {
-        self.report.wall = self.t0.elapsed();
-        self.report.runner = self.runner.stats();
-        if let Some(path) = &self.args.json {
-            self.report.write(path);
+    pub fn finish(self) {
+        let json = self.args.json.clone();
+        let report = self.into_report();
+        if let Some(path) = &json {
+            report.write(path);
         }
     }
 }
@@ -88,10 +136,7 @@ impl Experiment {
 /// penalty-per-miss row per kernel and the per-column average. Returns the
 /// averages for figure-specific footers.
 pub fn penalty_table(exp: &mut Experiment, configs: &[(&str, MachineConfig)]) -> Vec<f64> {
-    println!(
-        "{}",
-        header("bench", &configs.iter().map(|(n, _)| *n).collect::<Vec<_>>())
-    );
+    exp.println(&header("bench", &configs.iter().map(|(n, _)| *n).collect::<Vec<_>>()));
     exp.report.columns = configs.iter().map(|(n, _)| n.to_string()).collect();
     let seed = exp.args.seed;
     let budgets = exp.runner.insts_map(&Kernel::ALL, seed, exp.args.insts);

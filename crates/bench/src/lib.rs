@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod figures;
 pub mod micro;
 pub mod report;
 pub mod runner;

@@ -56,6 +56,10 @@ impl Report {
     }
 
     /// Serializes the report as a JSON object.
+    ///
+    /// This is the *one* result serializer: experiment binaries write it via
+    /// `--json`, and `smtxd` returns exactly the same shape as a job result,
+    /// so `scripts/bench_summary.sh` and the service read identical fields.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
@@ -67,14 +71,24 @@ impl Report {
         s.push_str(&format!("  \"checkpoint\": {},\n", self.checkpoint));
         s.push_str(&format!("  \"idle_skip\": {},\n", self.idle_skip));
         s.push_str(&format!("  \"wall_ms\": {},\n", json_f64(self.wall.as_secs_f64() * 1e3)));
-        s.push_str(&format!("  \"unique_runs\": {},\n", self.runner.unique_runs));
-        s.push_str(&format!("  \"cache_hits\": {},\n", self.runner.cache_hits));
-        s.push_str(&format!("  \"sim_cycles\": {},\n", self.runner.sim_cycles));
+        s.push_str(&runner_stats_json(&self.runner, 2));
         s.push_str(&format!(
             "  \"cycles_per_second\": {},\n",
             json_f64(self.runner.sim_cycles as f64 / self.wall.as_secs_f64().max(1e-9))
         ));
-        s.push_str("  \"columns\": [");
+        s.push_str(&self.rows_json());
+        s.push_str("}\n");
+        s
+    }
+
+    /// The `"columns"`/`"rows"` tail of [`Report::to_json`], exposed
+    /// separately so the service integration tests and the `serve-smoke` CI
+    /// job can assert byte-identity of served rows against a figure
+    /// binary's `--json` output without comparing wall clocks or cache
+    /// counters.
+    #[must_use]
+    pub fn rows_json(&self) -> String {
+        let mut s = String::from("  \"columns\": [");
         s.push_str(
             &self
                 .columns
@@ -93,7 +107,7 @@ impl Report {
                 if i + 1 < self.rows.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ]\n");
         s
     }
 
@@ -110,6 +124,34 @@ impl Report {
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());
     }
+}
+
+/// Serializes the [`RunnerStats`] counters as JSON object members (one
+/// per line, trailing commas included), indented by `indent` spaces. Both
+/// [`Report::to_json`] and the `smtxd` `/metrics`-adjacent JSON endpoints
+/// emit their cache counters through this one function, so the field names
+/// can never drift apart.
+#[must_use]
+pub fn runner_stats_json(stats: &RunnerStats, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    format!(
+        "{pad}\"unique_runs\": {},\n{pad}\"cache_hits\": {},\n\
+         {pad}\"checkpoint_hits\": {},\n{pad}\"sim_cycles\": {},\n",
+        stats.unique_runs, stats.cache_hits, stats.checkpoint_hits, stats.sim_cycles
+    )
+}
+
+/// The `(name, value)` pairs of the [`RunnerStats`] counters, in serialized
+/// order — the plaintext `/metrics` endpoint renders these, so it exposes
+/// exactly the fields [`runner_stats_json`] writes.
+#[must_use]
+pub fn runner_stats_fields(stats: &RunnerStats) -> [(&'static str, u64); 4] {
+    [
+        ("unique_runs", stats.unique_runs),
+        ("cache_hits", stats.cache_hits),
+        ("checkpoint_hits", stats.checkpoint_hits),
+        ("sim_cycles", stats.sim_cycles),
+    ]
 }
 
 fn json_str(s: &str) -> String {
@@ -150,6 +192,27 @@ mod tests {
         assert!(json.contains("\"cells\": [1.5, null]"));
         assert!(json.contains("\"wall_ms\": 125"));
         assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn metrics_fields_and_report_json_share_names_and_values() {
+        let stats = RunnerStats {
+            unique_runs: 11,
+            cache_hits: 22,
+            checkpoint_hits: 33,
+            sim_cycles: 44,
+        };
+        let json = runner_stats_json(&stats, 2);
+        for (name, value) in runner_stats_fields(&stats) {
+            assert!(
+                json.contains(&format!("\"{name}\": {value}")),
+                "field {name} missing from {json}"
+            );
+        }
+        let mut r = Report::new("x", 1, 2, 3);
+        r.runner = stats;
+        assert!(r.to_json().contains(&runner_stats_json(&stats, 2)), "report embeds the shared fragment");
+        assert!(r.to_json().ends_with(&format!("{}}}\n", r.rows_json())), "rows fragment is the tail");
     }
 
     #[test]

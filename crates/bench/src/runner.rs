@@ -132,6 +132,8 @@ pub struct RunnerStats {
     pub unique_runs: u64,
     /// Requests served from the cache.
     pub cache_hits: u64,
+    /// Fast-forward checkpoints served from the checkpoint cache.
+    pub checkpoint_hits: u64,
     /// Machine cycles simulated across all unique runs.
     pub sim_cycles: u64,
 }
@@ -160,6 +162,7 @@ pub struct Runner {
     checkpoints: Mutex<HashMap<CkKey, Arc<Checkpoint>>>,
     unique_runs: AtomicU64,
     cache_hits: AtomicU64,
+    ck_hits: AtomicU64,
     sim_cycles: AtomicU64,
 }
 
@@ -186,6 +189,7 @@ impl Runner {
             checkpoints: Mutex::new(HashMap::new()),
             unique_runs: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            ck_hits: AtomicU64::new(0),
             sim_cycles: AtomicU64::new(0),
         }
     }
@@ -225,12 +229,25 @@ impl Runner {
         self.skip
     }
 
+    /// Whether checkpoint reuse is enabled.
+    #[must_use]
+    pub fn checkpoint_cache(&self) -> bool {
+        self.use_checkpoints
+    }
+
+    /// Whether tier-2 idle-cycle skipping is enabled.
+    #[must_use]
+    pub fn idle_skip(&self) -> bool {
+        self.idle_skip
+    }
+
     /// Cache-effectiveness counters.
     #[must_use]
     pub fn stats(&self) -> RunnerStats {
         RunnerStats {
             unique_runs: self.unique_runs.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            checkpoint_hits: self.ck_hits.load(Ordering::Relaxed),
             sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
         }
     }
@@ -328,6 +345,7 @@ impl Runner {
     ) -> Arc<Checkpoint> {
         if self.use_checkpoints {
             if let Some(hit) = self.checkpoints.lock().expect("ck cache").get(&key) {
+                self.ck_hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(hit);
             }
         }

@@ -1,0 +1,242 @@
+//! `smtx-client` — the CLI for `smtxd`.
+//!
+//! ```text
+//! smtx-client submit --experiment fig5 --insts 20000 --wait
+//! smtx-client submit --kernel compress --mechanism traditional
+//! smtx-client status <id>
+//! smtx-client result <id> --out fig5.json
+//! smtx-client metrics
+//! smtx-client shutdown
+//! ```
+//!
+//! All subcommands take `--addr HOST:PORT` (default `127.0.0.1:7717`).
+//! `submit --wait` polls until the job finishes and prints the result JSON
+//! — byte-identical to what the matching figure binary writes via
+//! `--json` (rows and columns; wall clock and cache counters describe the
+//! daemon's run).
+
+use std::time::Duration;
+
+use smtx_serve::http::client_request;
+use smtx_serve::json::{quote, Json};
+
+const USAGE: &str = "usage: smtx-client [--addr HOST:PORT] <command>
+  submit (--experiment NAME | --kernel NAME [--mechanism M] [--idle N])
+         [--insts N] [--seed N] [--deadline-ms N] [--wait] [--out PATH]
+  status <id>
+  result <id> [--out PATH]
+  metrics
+  shutdown";
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    match client_request(addr, method, path, body, TIMEOUT) {
+        Ok(r) => (r.status, r.body),
+        Err(e) => {
+            eprintln!("error: {method} {path} against {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn write_out(out: Option<&str>, body: &str) {
+    match out {
+        Some(path) => {
+            std::fs::write(path, body).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => print!("{body}"),
+    }
+}
+
+struct Submit {
+    experiment: Option<String>,
+    kernel: Option<String>,
+    mechanism: Option<String>,
+    idle: Option<u64>,
+    insts: Option<u64>,
+    seed: Option<u64>,
+    deadline_ms: Option<u64>,
+    wait: bool,
+    out: Option<String>,
+}
+
+fn parse_submit(mut it: impl Iterator<Item = String>) -> Submit {
+    let mut s = Submit {
+        experiment: None,
+        kernel: None,
+        mechanism: None,
+        idle: None,
+        insts: None,
+        seed: None,
+        deadline_ms: None,
+        wait: false,
+        out: None,
+    };
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next().unwrap_or_else(|| die(&format!("{flag} requires a value")))
+        };
+        let num = |flag: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|e| die(&format!("{flag}: {e}")))
+        };
+        match arg.as_str() {
+            "--experiment" => s.experiment = Some(value_for("--experiment")),
+            "--kernel" => s.kernel = Some(value_for("--kernel")),
+            "--mechanism" => s.mechanism = Some(value_for("--mechanism")),
+            "--idle" => s.idle = Some(num("--idle", value_for("--idle"))),
+            "--insts" => s.insts = Some(num("--insts", value_for("--insts"))),
+            "--seed" => s.seed = Some(num("--seed", value_for("--seed"))),
+            "--deadline-ms" => {
+                s.deadline_ms = Some(num("--deadline-ms", value_for("--deadline-ms")));
+            }
+            "--wait" => s.wait = true,
+            "--out" => s.out = Some(value_for("--out")),
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    if s.experiment.is_some() == s.kernel.is_some() {
+        die("submit needs exactly one of --experiment or --kernel");
+    }
+    s
+}
+
+fn submit_body(s: &Submit) -> String {
+    let mut fields = Vec::new();
+    if let Some(e) = &s.experiment {
+        fields.push(format!("\"experiment\": {}", quote(e)));
+    }
+    if let Some(k) = &s.kernel {
+        fields.push(format!("\"kernel\": {}", quote(k)));
+    }
+    if let Some(m) = &s.mechanism {
+        fields.push(format!("\"mechanism\": {}", quote(m)));
+    }
+    if let Some(i) = s.idle {
+        fields.push(format!("\"idle\": {i}"));
+    }
+    if let Some(i) = s.insts {
+        fields.push(format!("\"insts\": {i}"));
+    }
+    if let Some(v) = s.seed {
+        fields.push(format!("\"seed\": {v}"));
+    }
+    if let Some(d) = s.deadline_ms {
+        fields.push(format!("\"deadline_ms\": {d}"));
+    }
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// Polls until the job leaves queued/running, then fetches the result.
+fn wait_result(addr: &str, id: &str) -> String {
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/v1/jobs/{id}"), None);
+        if status != 200 {
+            eprintln!("error: status poll failed ({status}): {body}");
+            std::process::exit(1);
+        }
+        let state = Json::parse(&body)
+            .ok()
+            .and_then(|v| v.get("state").and_then(|s| s.as_str().map(String::from)))
+            .unwrap_or_else(|| die("malformed status payload"));
+        match state.as_str() {
+            "done" => {
+                let (rs, result) = request(addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+                if rs != 200 {
+                    eprintln!("error: result fetch failed ({rs}): {result}");
+                    std::process::exit(1);
+                }
+                return result;
+            }
+            "failed" => {
+                eprintln!("error: job failed: {body}");
+                std::process::exit(1);
+            }
+            _ => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7717".to_string();
+    if args.first().map(String::as_str) == Some("--addr") {
+        if args.len() < 2 {
+            die("--addr requires a value");
+        }
+        addr = args[1].clone();
+        args.drain(..2);
+    }
+    let Some(command) = args.first().cloned() else { die("missing command") };
+    let rest = args.into_iter().skip(1);
+    match command.as_str() {
+        "submit" => {
+            let s = parse_submit(rest);
+            let (status, body) = request(&addr, "POST", "/v1/jobs", Some(&submit_body(&s)));
+            if status != 202 && status != 200 {
+                eprintln!("error: submit rejected ({status}): {body}");
+                std::process::exit(1);
+            }
+            let id = Json::parse(&body)
+                .ok()
+                .and_then(|v| v.get("id").and_then(|s| s.as_str().map(String::from)))
+                .unwrap_or_else(|| die("malformed submit response"));
+            if s.wait {
+                write_out(s.out.as_deref(), &wait_result(&addr, &id));
+            } else {
+                print!("{body}");
+            }
+        }
+        "status" => {
+            let id = rest.last().unwrap_or_else(|| die("status needs a job id"));
+            let (status, body) = request(&addr, "GET", &format!("/v1/jobs/{id}"), None);
+            if status != 200 {
+                eprintln!("error: status failed ({status}): {body}");
+                std::process::exit(1);
+            }
+            print!("{body}");
+        }
+        "result" => {
+            let mut it = rest;
+            let id = it.next().unwrap_or_else(|| die("result needs a job id"));
+            let out = match (it.next().as_deref(), it.next()) {
+                (None, _) => None,
+                (Some("--out"), Some(path)) => Some(path),
+                _ => die("result takes an id and optionally --out PATH"),
+            };
+            let (status, body) = request(&addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+            if status != 200 {
+                eprintln!("error: result failed ({status}): {body}");
+                std::process::exit(1);
+            }
+            write_out(out.as_deref(), &body);
+        }
+        "metrics" => {
+            let (status, body) = request(&addr, "GET", "/metrics", None);
+            if status != 200 {
+                eprintln!("error: metrics failed ({status}): {body}");
+                std::process::exit(1);
+            }
+            print!("{body}");
+        }
+        "shutdown" => {
+            let (status, body) = request(&addr, "POST", "/v1/shutdown", None);
+            if status != 200 {
+                eprintln!("error: shutdown failed ({status}): {body}");
+                std::process::exit(1);
+            }
+            print!("{body}");
+        }
+        other => die(&format!("unknown command `{other}`")),
+    }
+}

@@ -1,0 +1,261 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net`.
+//!
+//! `smtxd` speaks exactly the subset its API needs: one request per
+//! connection (`Connection: close` semantics), `Content-Length` bodies,
+//! bounded header and body sizes so a malformed or hostile client cannot
+//! balloon memory, and socket timeouts so a stalled client cannot pin an
+//! accept thread. The same module carries the tiny client used by
+//! `smtx-client` and the loopback tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Longest accepted request line or header line, bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, bytes (job specs are tiny).
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path component of the request target (query strings not used).
+    pub path: String,
+    /// Body bytes (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// A malformed request, mapped to a 400 by the server.
+#[derive(Debug)]
+pub struct BadRequest(pub String);
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn read_line(r: &mut impl BufRead) -> Result<String, BadRequest> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(BadRequest("header line too long".to_string()));
+                }
+            }
+            Err(e) => return Err(BadRequest(format!("read: {e}"))),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| BadRequest("non-UTF-8 header".to_string()))
+}
+
+/// Reads one request from `stream`. Returns `Err` for anything malformed;
+/// the caller answers 400 and closes.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
+    let mut r = BufReader::new(stream);
+    let start = read_line(&mut r)?;
+    let mut parts = start.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(BadRequest(format!("bad request line `{start}`")));
+    }
+    if !target.starts_with('/') {
+        return Err(BadRequest(format!("bad target `{target}`")));
+    }
+    let path = target.split('?').next().unwrap_or(&target).to_string();
+
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(&mut r)?;
+        if line.is_empty() {
+            let mut body = vec![0u8; content_length];
+            if content_length > 0 {
+                r.read_exact(&mut body)
+                    .map_err(|e| BadRequest(format!("short body: {e}")))?;
+            }
+            return Ok(Request { method, path, body });
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(BadRequest(format!("bad header `{line}`")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| BadRequest(format!("bad content-length `{value}`")))?;
+            if content_length > MAX_BODY {
+                return Err(BadRequest(format!("body too large ({content_length} bytes)")));
+            }
+        }
+    }
+    Err(BadRequest("too many headers".to_string()))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response and flushes. Errors are returned so the
+/// handler can count them, but a client that hung up mid-response is not a
+/// server failure.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A parsed client-side response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body text.
+    pub body: String,
+}
+
+/// Issues one request against `addr` and reads the full response.
+/// `timeout` bounds connect, read and write individually.
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other(format!("cannot resolve {addr}")))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\
+         content-type: application/json\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    stream.flush()?;
+
+    let mut r = BufReader::new(stream);
+    let mut status_line = String::new();
+    r.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line `{status_line}`")))?;
+    let mut content_length = None;
+    loop {
+        let mut line = String::new();
+        r.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            r.read_exact(&mut buf)?;
+            String::from_utf8_lossy(&buf).into_owned()
+        }
+        None => {
+            let mut buf = String::new();
+            r.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &str) -> Result<Request, BadRequest> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let t = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(raw.as_bytes()).unwrap();
+        });
+        let (mut s, _) = listener.accept().unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let req = read_request(&mut s);
+        t.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(
+            "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn strips_query_and_requires_http() {
+        let req = roundtrip("GET /metrics?x=1 HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert!(roundtrip("GET /x SPDY/9\r\n\r\n").is_err());
+        assert!(roundtrip("nonsense\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(roundtrip(&raw).is_err());
+    }
+}

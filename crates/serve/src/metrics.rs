@@ -1,0 +1,91 @@
+//! Service counters behind `GET /metrics`.
+//!
+//! Rendered in the plaintext `name value` format scrapers expect. The
+//! runner's cache counters are appended through
+//! [`smtx_bench::report::runner_stats_fields`], so `/metrics` exposes
+//! exactly the fields `Report::to_json` writes — one schema, two surfaces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smtx_bench::report::runner_stats_fields;
+use smtx_bench::runner::RunnerStats;
+
+/// Monotonic service counters. All relaxed: these are observability
+/// counters, not synchronization.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests that parsed as HTTP at all.
+    pub http_requests: AtomicU64,
+    /// Requests rejected as malformed (400).
+    pub bad_requests: AtomicU64,
+    /// Job submissions accepted into the queue (202).
+    pub jobs_accepted: AtomicU64,
+    /// Submissions answered from the job table without queueing (200).
+    pub jobs_deduped: AtomicU64,
+    /// Jobs that finished with a result.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that failed (panic or invalid at execution time).
+    pub jobs_failed: AtomicU64,
+    /// Submissions bounced because the queue was full (429).
+    pub jobs_rejected_full: AtomicU64,
+    /// Submissions bounced during shutdown (503).
+    pub jobs_rejected_shutdown: AtomicU64,
+    /// Jobs whose deadline expired before a worker picked them up.
+    pub deadline_expired: AtomicU64,
+}
+
+impl Metrics {
+    /// Increments one counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the plaintext exposition: service counters, live gauges,
+    /// then the shared runner cache counters.
+    #[must_use]
+    pub fn render(&self, queue_depth: usize, workers_busy: usize, workers_total: usize, runner: &RunnerStats) -> String {
+        let mut out = String::new();
+        let counters: [(&str, &AtomicU64); 9] = [
+            ("http_requests", &self.http_requests),
+            ("bad_requests", &self.bad_requests),
+            ("jobs_accepted", &self.jobs_accepted),
+            ("jobs_deduped", &self.jobs_deduped),
+            ("jobs_completed", &self.jobs_completed),
+            ("jobs_failed", &self.jobs_failed),
+            ("jobs_rejected_full", &self.jobs_rejected_full),
+            ("jobs_rejected_shutdown", &self.jobs_rejected_shutdown),
+            ("deadline_expired", &self.deadline_expired),
+        ];
+        for (name, c) in counters {
+            out.push_str(&format!("smtxd_{name} {}\n", c.load(Ordering::Relaxed)));
+        }
+        out.push_str(&format!("smtxd_queue_depth {queue_depth}\n"));
+        out.push_str(&format!("smtxd_workers_busy {workers_busy}\n"));
+        out.push_str(&format!("smtxd_workers_total {workers_total}\n"));
+        for (name, value) in runner_stats_fields(runner) {
+            out.push_str(&format!("smtxd_runner_{name} {value}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_every_counter_and_runner_field() {
+        let m = Metrics::default();
+        Metrics::inc(&m.jobs_accepted);
+        Metrics::inc(&m.jobs_accepted);
+        let stats = RunnerStats { unique_runs: 3, cache_hits: 5, checkpoint_hits: 7, sim_cycles: 9 };
+        let text = m.render(1, 2, 4, &stats);
+        assert!(text.contains("smtxd_jobs_accepted 2\n"));
+        assert!(text.contains("smtxd_queue_depth 1\n"));
+        assert!(text.contains("smtxd_workers_busy 2\n"));
+        assert!(text.contains("smtxd_workers_total 4\n"));
+        for (name, value) in runner_stats_fields(&stats) {
+            assert!(text.contains(&format!("smtxd_runner_{name} {value}\n")), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The `smtxd` TCP front end: accept loop, routing, and graceful shutdown.
+//!
+//! ## API
+//!
+//! | method & path            | meaning |
+//! |--------------------------|---------|
+//! | `POST /v1/jobs`          | submit a job spec → `202` queued, `200` deduped, `400` invalid, `429` queue full, `503` draining |
+//! | `GET /v1/jobs/<id>`      | status metadata (state, spec, error) |
+//! | `GET /v1/jobs/<id>/result` | the finished report JSON, **verbatim** `Report::to_json` — byte-comparable with a figure binary's `--json` file |
+//! | `GET /metrics`           | plaintext counters |
+//! | `GET /healthz`           | liveness (`503` once draining) |
+//! | `POST /v1/shutdown`      | begin draining; the daemon exits after in-flight jobs finish |
+//!
+//! Shutdown is *graceful by construction*: draining flips before the
+//! listener closes, so racing submissions get `503` rather than connection
+//! resets, queued and running jobs run to completion, and only then does
+//! the accept loop stop.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{read_request, respond, Request};
+use crate::json::{quote, Json};
+use crate::metrics::Metrics;
+use crate::service::{JobState, JobSpec, Service, ServiceConfig, Submit};
+
+/// Per-connection socket timeout — a stalled client cannot pin a handler
+/// thread forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// What every connection handler needs: the service, the stop flag, and
+/// the bound address (the shutdown watcher self-connects to wake the
+/// accept loop out of its blocking `accept`).
+#[derive(Clone)]
+struct Ctx {
+    svc: Arc<Service>,
+    stopped: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+/// A running daemon: the bound address, the shared service, and the join
+/// handle for the accept loop.
+pub struct Handle {
+    ctx: Ctx,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Handle {
+    /// The address the daemon actually bound (port 0 resolves here).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.ctx.addr
+    }
+
+    /// The shared service state (tests assert cache counters through it).
+    #[must_use]
+    pub fn service(&self) -> Arc<Service> {
+        Arc::clone(&self.ctx.svc)
+    }
+
+    /// Waits for the daemon to exit (i.e. for a shutdown to complete).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept.take() {
+            t.join().expect("accept loop exits cleanly");
+        }
+    }
+
+    /// Programmatic shutdown (what `POST /v1/shutdown` does): drain
+    /// in-flight jobs, stop accepting, wait for the daemon to exit.
+    pub fn shutdown_and_join(self) {
+        begin_shutdown(&self.ctx);
+        self.join();
+    }
+}
+
+/// Binds `addr`, spawns the worker pool and the accept loop, and returns
+/// immediately.
+pub fn start(addr: &str, config: ServiceConfig) -> std::io::Result<Handle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let service = Service::new(config.clone());
+    let ctx = Ctx { svc: service, stopped: Arc::new(AtomicBool::new(false)), addr: local };
+
+    let mut workers = Vec::new();
+    for _ in 0..config.workers.max(1) {
+        let svc = Arc::clone(&ctx.svc);
+        workers.push(std::thread::spawn(move || svc.worker_loop()));
+    }
+
+    let accept = {
+        let ctx = ctx.clone();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if ctx.stopped.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let ctx = ctx.clone();
+                std::thread::spawn(move || handle_connection(stream, &ctx));
+            }
+            for w in workers {
+                w.join().expect("worker exits after drain");
+            }
+        })
+    };
+
+    Ok(Handle { ctx, accept: Some(accept) })
+}
+
+/// Error-body helper: every non-2xx answer is still JSON.
+fn err_body(msg: &str) -> String {
+    format!("{{\"error\": {}}}\n", quote(msg))
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(e) => {
+            Metrics::inc(&ctx.svc.metrics.bad_requests);
+            let _ = respond(&mut stream, 400, "application/json", &err_body(&e.0));
+            return;
+        }
+    };
+    Metrics::inc(&ctx.svc.metrics.http_requests);
+    let (status, content_type, body) = route(&req, ctx);
+    let _ = respond(&mut stream, status, content_type, &body);
+}
+
+fn route(req: &Request, ctx: &Ctx) -> (u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    const TEXT: &str = "text/plain; charset=utf-8";
+    let svc = &ctx.svc;
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/jobs") => submit(req, svc),
+        ("POST", "/v1/shutdown") => {
+            begin_shutdown_async(ctx);
+            (200, JSON, "{\"draining\": true}\n".to_string())
+        }
+        ("GET", "/metrics") => (200, TEXT, svc.metrics_text()),
+        ("GET", "/healthz") => {
+            if svc.draining() {
+                (503, JSON, err_body("draining"))
+            } else {
+                (200, JSON, "{\"ok\": true}\n".to_string())
+            }
+        }
+        ("GET", path) => {
+            if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+                job_get(rest, svc)
+            } else {
+                (404, JSON, err_body(&format!("no such path `{path}`")))
+            }
+        }
+        (method, path) => (405, JSON, err_body(&format!("{method} {path} not supported"))),
+    }
+}
+
+fn submit(req: &Request, svc: &Arc<Service>) -> (u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => {
+            Metrics::inc(&svc.metrics.bad_requests);
+            return (400, JSON, err_body("body is not UTF-8"));
+        }
+    };
+    let parsed = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            Metrics::inc(&svc.metrics.bad_requests);
+            return (400, JSON, err_body(&format!("invalid JSON: {e}")));
+        }
+    };
+    let spec = match JobSpec::from_json(&parsed) {
+        Ok(s) => s,
+        Err(e) => {
+            Metrics::inc(&svc.metrics.bad_requests);
+            return (400, JSON, err_body(&e));
+        }
+    };
+    let deadline_ms = parsed.get("deadline_ms").and_then(Json::as_u64);
+    match svc.submit(spec, deadline_ms) {
+        Submit::Accepted(id) => {
+            (202, JSON, format!("{{\"id\": {}, \"state\": \"queued\"}}\n", quote(&id)))
+        }
+        Submit::Deduped(id) => {
+            let state = svc.state(&id).map_or("unknown", |s| s.name());
+            (
+                200,
+                JSON,
+                format!(
+                    "{{\"id\": {}, \"state\": {}, \"deduped\": true}}\n",
+                    quote(&id),
+                    quote(state)
+                ),
+            )
+        }
+        Submit::QueueFull => (429, JSON, err_body("queue full, retry later")),
+        Submit::Draining => (503, JSON, err_body("shutting down")),
+    }
+}
+
+fn job_get(rest: &str, svc: &Arc<Service>) -> (u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    if let Some(id) = rest.strip_suffix("/result") {
+        return match svc.state(id) {
+            // The stored payload IS Report::to_json() — returned verbatim,
+            // no re-serialization, so clients can diff it byte-for-byte
+            // against a figure binary's --json file.
+            Some(JobState::Done(json)) => (200, JSON, json),
+            Some(JobState::Failed(e)) => (409, JSON, err_body(&format!("job failed: {e}"))),
+            Some(s) => (409, JSON, err_body(&format!("job is {}", s.name()))),
+            None => (404, JSON, err_body(&format!("unknown job `{id}`"))),
+        };
+    }
+    match svc.status_json(rest) {
+        Some(body) => (200, JSON, body),
+        None => (404, JSON, err_body(&format!("unknown job `{rest}`"))),
+    }
+}
+
+/// Synchronous drain: flip draining (new submissions now get 503), wait
+/// for queue + in-flight work to finish, set the stop flag, and wake the
+/// accept loop with a self-connection so it exits.
+fn begin_shutdown(ctx: &Ctx) {
+    ctx.svc.begin_shutdown();
+    finish_shutdown(ctx);
+}
+
+/// The HTTP-triggered variant: draining flips *before* the handler
+/// answers — a submission racing the shutdown response can only see 503,
+/// never a connection reset — and only the drain-wait runs on a watcher
+/// thread (the handler must answer its own request before the listener
+/// dies).
+fn begin_shutdown_async(ctx: &Ctx) {
+    if ctx.svc.draining() {
+        return;
+    }
+    ctx.svc.begin_shutdown();
+    let ctx = ctx.clone();
+    std::thread::spawn(move || finish_shutdown(&ctx));
+}
+
+fn finish_shutdown(ctx: &Ctx) {
+    ctx.svc.wait_drained();
+    ctx.stopped.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(ctx.addr);
+}

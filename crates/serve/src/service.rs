@@ -1,0 +1,641 @@
+//! The job service behind `smtxd`: validation, a bounded dedup queue, a
+//! worker pool on one shared [`Runner`], and an LRU result store.
+//!
+//! The whole point of a daemon (versus re-execing the figure binaries) is
+//! the shared runner: every job from every client hits the same result
+//! cache, reference cache and fast-forward checkpoint cache, keyed by
+//! `RunKey {kernel, seed, insts, config-digest}`. Two clients asking for
+//! overlapping work pay for the overlap once, and a repeated submission is
+//! answered from the job table without queueing at all.
+//!
+//! Results are byte-identical to the figure binaries' `--json` output by
+//! construction: a job runs `smtx_bench::figures::run_named` through a
+//! quiet [`Experiment`] frame — the very code the binaries call — and the
+//! stored result *is* `Report::to_json()`.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use smtx_bench::{config_with_idle, figures, Args, Experiment, Runner, DEFAULT_INSTS};
+use smtx_core::ExnMechanism;
+use smtx_util::StableHasher;
+use smtx_workloads::Kernel;
+
+use crate::json::{quote, Json};
+use crate::metrics::Metrics;
+
+/// Tuning knobs for one service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Thread-pool size of the shared runner (0 = all cores).
+    pub runner_jobs: usize,
+    /// Most jobs allowed to wait in the queue (backpressure bound).
+    pub queue_cap: usize,
+    /// Most finished jobs retained; older results are evicted LRU.
+    pub results_cap: usize,
+    /// Deadline applied to jobs that do not request one, milliseconds.
+    pub default_deadline_ms: u64,
+    /// Tier-1 fast-forward length for the shared runner.
+    pub skip: u64,
+    /// Whether the shared runner caches fast-forward checkpoints.
+    pub checkpoint: bool,
+    /// Whether the shared runner skips idle cycles (tier 2).
+    pub idle_skip: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            runner_jobs: 0,
+            queue_cap: 64,
+            results_cap: 256,
+            default_deadline_ms: 600_000,
+            skip: 0,
+            checkpoint: true,
+            idle_skip: true,
+        }
+    }
+}
+
+/// A validated job: either a whole named experiment or one custom
+/// single-kernel measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobSpec {
+    /// Rerun a named figure/table (`figures::ALL`) at a budget and seed.
+    Experiment {
+        /// Experiment name (`fig5`, `table4`, ...).
+        name: String,
+        /// Per-thread instruction budget.
+        insts: u64,
+        /// Workload seed.
+        seed: u64,
+    },
+    /// One kernel under one mechanism: cycles, IPC, penalty per miss.
+    Run {
+        /// Workload kernel.
+        kernel: Kernel,
+        /// Workload seed.
+        seed: u64,
+        /// Per-thread instruction budget.
+        insts: u64,
+        /// Exception-handling mechanism.
+        mechanism: ExnMechanism,
+        /// Idle SMT contexts alongside the application thread.
+        idle: usize,
+    },
+}
+
+/// Largest accepted per-thread budget — a fat-fingered `insts` would
+/// otherwise wedge a worker for hours; run the binaries directly for
+/// campaigns that big.
+pub const MAX_INSTS: u64 = 50_000_000;
+
+impl JobSpec {
+    /// Parses and validates a submission body.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let Json::Obj(_) = v else {
+            return Err("body must be a JSON object".to_string());
+        };
+        let insts = match v.get("insts") {
+            None => DEFAULT_INSTS,
+            Some(n) => n.as_u64().ok_or("`insts` must be a non-negative integer")?,
+        };
+        if insts == 0 || insts > MAX_INSTS {
+            return Err(format!("`insts` must be in 1..={MAX_INSTS}"));
+        }
+        let seed = match v.get("seed") {
+            None => 42,
+            Some(n) => n.as_u64().ok_or("`seed` must be a non-negative integer")?,
+        };
+        match (v.get("experiment"), v.get("kernel")) {
+            (Some(_), Some(_)) => Err("give `experiment` or `kernel`, not both".to_string()),
+            (None, None) => Err("missing `experiment` or `kernel`".to_string()),
+            (Some(e), None) => {
+                let name = e.as_str().ok_or("`experiment` must be a string")?;
+                if !figures::ALL.contains(&name) {
+                    return Err(format!(
+                        "unknown experiment `{name}` (known: {})",
+                        figures::ALL.join(", ")
+                    ));
+                }
+                Ok(JobSpec::Experiment { name: name.to_string(), insts, seed })
+            }
+            (None, Some(k)) => {
+                let kname = k.as_str().ok_or("`kernel` must be a string")?;
+                let kernel = Kernel::from_name(kname).ok_or_else(|| {
+                    format!(
+                        "unknown kernel `{kname}` (known: {})",
+                        Kernel::ALL.map(Kernel::name).join(", ")
+                    )
+                })?;
+                let mlabel = match v.get("mechanism") {
+                    None => "multithreaded",
+                    Some(m) => m.as_str().ok_or("`mechanism` must be a string")?,
+                };
+                let mechanism = ExnMechanism::ALL
+                    .into_iter()
+                    .find(|m| m.label() == mlabel)
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown mechanism `{mlabel}` (known: {})",
+                            ExnMechanism::ALL.map(ExnMechanism::label).join(", ")
+                        )
+                    })?;
+                let idle = match v.get("idle") {
+                    None => 1,
+                    Some(n) => n.as_u64().ok_or("`idle` must be a non-negative integer")? as usize,
+                };
+                if idle > 7 {
+                    return Err("`idle` must be at most 7".to_string());
+                }
+                Ok(JobSpec::Run { kernel, seed, insts, mechanism, idle })
+            }
+        }
+    }
+
+    /// Stable job id: FNV-1a over the canonical field encoding, hex. Equal
+    /// specs collide by design — that is the dedup key.
+    #[must_use]
+    pub fn id(&self) -> String {
+        let mut h = StableHasher::new();
+        match self {
+            JobSpec::Experiment { name, insts, seed } => {
+                h.write(b"experiment");
+                h.write(name.as_bytes());
+                h.write_u64(*insts);
+                h.write_u64(*seed);
+            }
+            JobSpec::Run { kernel, seed, insts, mechanism, idle } => {
+                h.write(b"run");
+                h.write(kernel.name().as_bytes());
+                h.write_u64(*seed);
+                h.write_u64(*insts);
+                h.write(mechanism.label().as_bytes());
+                h.write_usize(*idle);
+            }
+        }
+        format!("{:016x}", h.finish())
+    }
+
+    /// Human-readable one-liner for status payloads and logs.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            JobSpec::Experiment { name, insts, seed } => {
+                format!("{name} insts={insts} seed={seed}")
+            }
+            JobSpec::Run { kernel, seed, insts, mechanism, idle } => format!(
+                "run {} mechanism={} idle={idle} insts={insts} seed={seed}",
+                kernel.name(),
+                mechanism.label()
+            ),
+        }
+    }
+}
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the payload is the full report JSON.
+    Done(String),
+    /// Failed; the payload is the error text.
+    Failed(String),
+}
+
+impl JobState {
+    /// The state's wire name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Outcome of a submission attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submit {
+    /// Queued; poll the id.
+    Accepted(String),
+    /// An identical job already exists (any state); poll the id.
+    Deduped(String),
+    /// Queue at capacity — retry later (429).
+    QueueFull,
+    /// Service is draining — no new work (503).
+    Draining,
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    deadline: Instant,
+}
+
+struct Inner {
+    queue: VecDeque<String>,
+    jobs: HashMap<String, JobRecord>,
+    /// Finished ids, oldest first — the LRU eviction order.
+    finished: VecDeque<String>,
+    draining: bool,
+    busy: usize,
+}
+
+/// The shared service state: one runner, one queue, one job table.
+pub struct Service {
+    /// Tuning knobs the service was built with.
+    pub config: ServiceConfig,
+    /// The shared memoizing executor — the reason the daemon exists.
+    pub runner: Arc<Runner>,
+    /// Observability counters.
+    pub metrics: Metrics,
+    inner: Mutex<Inner>,
+    /// Signaled when work arrives or draining starts (workers wait here).
+    work_cv: Condvar,
+    /// Signaled when a job reaches a terminal state.
+    done_cv: Condvar,
+}
+
+impl Service {
+    /// Builds the service and its shared runner (no threads started;
+    /// [`Service::worker_loop`] is the worker body).
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Arc<Service> {
+        let runner = Arc::new(
+            Runner::new(config.runner_jobs)
+                .with_skip(config.skip)
+                .with_checkpoint_cache(config.checkpoint)
+                .with_idle_skip(config.idle_skip),
+        );
+        Arc::new(Service {
+            config,
+            runner,
+            metrics: Metrics::default(),
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                finished: VecDeque::new(),
+                draining: false,
+                busy: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    /// Submits a job. Identical specs dedup onto the existing record —
+    /// whatever its state — so a re-submitted finished job is answered
+    /// instantly and a re-submitted queued job is not queued twice.
+    pub fn submit(&self, spec: JobSpec, deadline_ms: Option<u64>) -> Submit {
+        let id = spec.id();
+        let mut inner = self.inner.lock().expect("service state");
+        if inner.draining {
+            Metrics::inc(&self.metrics.jobs_rejected_shutdown);
+            return Submit::Draining;
+        }
+        if inner.jobs.contains_key(&id) {
+            Metrics::inc(&self.metrics.jobs_deduped);
+            return Submit::Deduped(id);
+        }
+        if inner.queue.len() >= self.config.queue_cap {
+            Metrics::inc(&self.metrics.jobs_rejected_full);
+            return Submit::QueueFull;
+        }
+        let ms = deadline_ms.unwrap_or(self.config.default_deadline_ms);
+        inner.jobs.insert(
+            id.clone(),
+            JobRecord {
+                spec,
+                state: JobState::Queued,
+                deadline: Instant::now() + Duration::from_millis(ms),
+            },
+        );
+        inner.queue.push_back(id.clone());
+        Metrics::inc(&self.metrics.jobs_accepted);
+        drop(inner);
+        self.work_cv.notify_one();
+        Submit::Accepted(id)
+    }
+
+    /// The job's current state, if it is known.
+    #[must_use]
+    pub fn state(&self, id: &str) -> Option<JobState> {
+        self.inner.lock().expect("service state").jobs.get(id).map(|r| r.state.clone())
+    }
+
+    /// Status metadata JSON for `GET /v1/jobs/<id>`.
+    #[must_use]
+    pub fn status_json(&self, id: &str) -> Option<String> {
+        let inner = self.inner.lock().expect("service state");
+        let r = inner.jobs.get(id)?;
+        let mut s = format!(
+            "{{\n  \"id\": {},\n  \"state\": {},\n  \"spec\": {}",
+            quote(id),
+            quote(r.state.name()),
+            quote(&r.spec.describe())
+        );
+        if let JobState::Failed(err) = &r.state {
+            s.push_str(&format!(",\n  \"error\": {}", quote(err)));
+        }
+        s.push_str("\n}\n");
+        Some(s)
+    }
+
+    /// Blocks until `id` reaches a terminal state (or `timeout` passes);
+    /// returns the latest observed state.
+    #[must_use]
+    pub fn wait_job(&self, id: &str, timeout: Duration) -> Option<JobState> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("service state");
+        loop {
+            match inner.jobs.get(id).map(|r| r.state.clone()) {
+                None => return None,
+                Some(s @ (JobState::Done(_) | JobState::Failed(_))) => return Some(s),
+                Some(s) => {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Some(s);
+                    }
+                    let (g, _) = self
+                        .done_cv
+                        .wait_timeout(inner, left)
+                        .expect("service state");
+                    inner = g;
+                }
+            }
+        }
+    }
+
+    /// Current queue depth and busy/total worker gauges for `/metrics`.
+    #[must_use]
+    pub fn gauges(&self) -> (usize, usize, usize) {
+        let inner = self.inner.lock().expect("service state");
+        (inner.queue.len(), inner.busy, self.config.workers)
+    }
+
+    /// Plaintext metrics exposition.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let (depth, busy, total) = self.gauges();
+        self.metrics.render(depth, busy, total, &self.runner.stats())
+    }
+
+    /// Starts draining: queued jobs still run, new submissions get
+    /// [`Submit::Draining`].
+    pub fn begin_shutdown(&self) {
+        self.inner.lock().expect("service state").draining = true;
+        self.work_cv.notify_all();
+    }
+
+    /// Whether the service is draining.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.inner.lock().expect("service state").draining
+    }
+
+    /// Blocks until the queue is empty and no worker is mid-job.
+    pub fn wait_drained(&self) {
+        let mut inner = self.inner.lock().expect("service state");
+        while !inner.queue.is_empty() || inner.busy > 0 {
+            inner = self.done_cv.wait(inner).expect("service state");
+        }
+    }
+
+    /// One worker's whole life: pull, execute, publish; exit once the
+    /// service is draining and the queue is dry.
+    pub fn worker_loop(&self) {
+        loop {
+            let (id, spec) = {
+                let mut inner = self.inner.lock().expect("service state");
+                loop {
+                    if let Some(id) = inner.queue.pop_front() {
+                        let r = inner.jobs.get_mut(&id).expect("queued job has a record");
+                        if Instant::now() > r.deadline {
+                            r.state =
+                                JobState::Failed("deadline exceeded before execution".to_string());
+                            Metrics::inc(&self.metrics.deadline_expired);
+                            Metrics::inc(&self.metrics.jobs_failed);
+                            let spec_id = id.clone();
+                            Self::retire(&mut inner, spec_id, self.config.results_cap);
+                            self.done_cv.notify_all();
+                            continue;
+                        }
+                        r.state = JobState::Running;
+                        let spec = r.spec.clone();
+                        inner.busy += 1;
+                        break (id, spec);
+                    }
+                    if inner.draining {
+                        return;
+                    }
+                    inner = self.work_cv.wait(inner).expect("service state");
+                }
+            };
+
+            // The simulator asserts on impossible configurations; a panic
+            // must fail one job, not the daemon.
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(&spec)));
+            let state = match outcome {
+                Ok(json) => {
+                    Metrics::inc(&self.metrics.jobs_completed);
+                    JobState::Done(json)
+                }
+                Err(p) => {
+                    Metrics::inc(&self.metrics.jobs_failed);
+                    let msg = p
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| p.downcast_ref::<&str>().copied())
+                        .unwrap_or("job panicked");
+                    JobState::Failed(format!("execution panicked: {msg}"))
+                }
+            };
+
+            let mut inner = self.inner.lock().expect("service state");
+            if let Some(r) = inner.jobs.get_mut(&id) {
+                r.state = state;
+            }
+            inner.busy -= 1;
+            Self::retire(&mut inner, id, self.config.results_cap);
+            drop(inner);
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Records `id` as finished and evicts the oldest finished jobs beyond
+    /// `cap` (queued/running records are never evicted).
+    fn retire(inner: &mut Inner, id: String, cap: usize) {
+        inner.finished.push_back(id);
+        while inner.finished.len() > cap {
+            if let Some(old) = inner.finished.pop_front() {
+                inner.jobs.remove(&old);
+            }
+        }
+    }
+
+    /// Executes one job on the shared runner and serializes its report.
+    /// Experiments run the figure bodies the binaries run — quiet, on this
+    /// service's runner — so the JSON matches `--json` output field for
+    /// field (rows byte-identical; wall clock and cache counters reflect
+    /// the daemon's shared state).
+    fn execute(&self, spec: &JobSpec) -> String {
+        match spec {
+            JobSpec::Experiment { name, insts, seed } => {
+                let args = Args { insts: *insts, seed: *seed, ..Args::default() };
+                let mut exp =
+                    Experiment::on_runner(name, args, Arc::clone(&self.runner)).quiet();
+                assert!(figures::run_named(name, &mut exp), "validated name `{name}`");
+                exp.into_report().to_json()
+            }
+            JobSpec::Run { kernel, seed, insts, mechanism, idle } => {
+                let args = Args { insts: *insts, seed: *seed, ..Args::default() };
+                let mut exp = Experiment::on_runner("run", args, Arc::clone(&self.runner)).quiet();
+                let cfg = config_with_idle(*mechanism, *idle);
+                let insts = exp.runner.insts_for(*kernel, *seed, *insts);
+                let run = exp.runner.run(*kernel, *seed, insts, &cfg);
+                let penalty = if *mechanism == ExnMechanism::PerfectTlb {
+                    0.0
+                } else {
+                    exp.runner.penalty_per_miss(*kernel, *seed, insts, &cfg)
+                };
+                exp.report.columns = ["cycles", "ipc", "arch_misses", "penalty_per_miss"]
+                    .map(String::from)
+                    .to_vec();
+                exp.emit_row(
+                    &format!("{}/{}", kernel.name(), mechanism.label()),
+                    &[run.cycles as f64, run.ipc(), run.arch_misses as f64, penalty],
+                );
+                exp.into_report().to_json()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn parse(body: &str) -> Result<JobSpec, String> {
+        JobSpec::from_json(&Json::parse(body).expect("valid JSON"))
+    }
+
+    #[test]
+    fn spec_parsing_validates() {
+        let s = parse(r#"{"experiment": "fig5", "insts": 5000, "seed": 7}"#).unwrap();
+        assert_eq!(
+            s,
+            JobSpec::Experiment { name: "fig5".into(), insts: 5_000, seed: 7 }
+        );
+        let s = parse(r#"{"kernel": "compress", "mechanism": "traditional"}"#).unwrap();
+        assert_eq!(
+            s,
+            JobSpec::Run {
+                kernel: Kernel::Compress,
+                seed: 42,
+                insts: DEFAULT_INSTS,
+                mechanism: ExnMechanism::Traditional,
+                idle: 1
+            }
+        );
+        for bad in [
+            r#"{}"#,
+            r#"{"experiment": "fig9"}"#,
+            r#"{"experiment": "fig5", "kernel": "gcc"}"#,
+            r#"{"kernel": "spice"}"#,
+            r#"{"kernel": "gcc", "mechanism": "magic"}"#,
+            r#"{"experiment": "fig5", "insts": 0}"#,
+            r#"{"experiment": "fig5", "insts": 999999999999}"#,
+            r#"{"kernel": "gcc", "idle": 9}"#,
+            r#"[1]"#,
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_and_spec_sensitive() {
+        let a = parse(r#"{"experiment": "fig5", "insts": 5000}"#).unwrap();
+        let b = parse(r#"{"insts": 5000, "experiment": "fig5"}"#).unwrap();
+        let c = parse(r#"{"experiment": "fig5", "insts": 5001}"#).unwrap();
+        assert_eq!(a.id(), b.id(), "field order cannot matter");
+        assert_ne!(a.id(), c.id());
+        assert_eq!(a.id().len(), 16);
+    }
+
+    #[test]
+    fn submit_dedups_and_bounds_the_queue() {
+        let svc = Service::new(ServiceConfig { queue_cap: 1, ..ServiceConfig::default() });
+        let spec = parse(r#"{"experiment": "fig5", "insts": 2000}"#).unwrap();
+        let Submit::Accepted(id) = svc.submit(spec.clone(), None) else {
+            panic!("first submit must queue");
+        };
+        assert_eq!(svc.submit(spec, None), Submit::Deduped(id.clone()));
+        let other = parse(r#"{"experiment": "fig6", "insts": 2000}"#).unwrap();
+        assert_eq!(svc.submit(other.clone(), None), Submit::QueueFull, "cap is 1");
+        assert_eq!(svc.state(&id), Some(JobState::Queued));
+        svc.begin_shutdown();
+        assert_eq!(svc.submit(other, None), Submit::Draining);
+    }
+
+    #[test]
+    fn worker_executes_and_expired_jobs_fail() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            runner_jobs: 2,
+            ..ServiceConfig::default()
+        });
+        let spec = parse(r#"{"kernel": "compress", "insts": 3000, "mechanism": "perfect"}"#)
+            .unwrap();
+        let Submit::Accepted(ok_id) = svc.submit(spec, None) else { panic!() };
+        let expired =
+            parse(r#"{"kernel": "gcc", "insts": 3000, "mechanism": "perfect"}"#).unwrap();
+        let Submit::Accepted(late_id) = svc.submit(expired, Some(0)) else { panic!() };
+
+        let worker = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || svc.worker_loop())
+        };
+        let done = svc.wait_job(&ok_id, Duration::from_secs(120)).expect("known job");
+        let JobState::Done(json) = done else { panic!("expected Done, got {done:?}") };
+        assert!(json.contains("\"experiment\": \"run\""));
+        assert!(json.contains("compress/perfect"));
+        let late = svc.wait_job(&late_id, Duration::from_secs(120)).expect("known job");
+        assert!(matches!(late, JobState::Failed(e) if e.contains("deadline")));
+        assert_eq!(svc.metrics.deadline_expired.load(Ordering::Relaxed), 1);
+
+        svc.begin_shutdown();
+        svc.wait_drained();
+        worker.join().expect("worker exits after drain");
+    }
+
+    #[test]
+    fn lru_store_evicts_oldest_finished() {
+        let svc = Service::new(ServiceConfig { results_cap: 1, ..ServiceConfig::default() });
+        let mut inner = svc.inner.lock().unwrap();
+        for id in ["a", "b"] {
+            inner.jobs.insert(
+                id.to_string(),
+                JobRecord {
+                    spec: JobSpec::Experiment { name: "fig5".into(), insts: 1, seed: 1 },
+                    state: JobState::Done("{}".into()),
+                    deadline: Instant::now(),
+                },
+            );
+            Service::retire(&mut inner, id.to_string(), 1);
+        }
+        assert!(!inner.jobs.contains_key("a"), "oldest evicted");
+        assert!(inner.jobs.contains_key("b"));
+    }
+}

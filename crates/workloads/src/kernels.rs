@@ -83,6 +83,13 @@ impl Kernel {
         }
     }
 
+    /// Looks a kernel up by its full [`Kernel::name`] — the inverse mapping,
+    /// used wherever kernels arrive as text (the `smtxd` job API).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        Kernel::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
     /// TLB misses per 100M instructions the paper reports (Table 2).
     #[must_use]
     pub fn paper_misses_per_100m(self) -> u64 {
@@ -742,6 +749,15 @@ fn alphadoom_setup(seed: u64, space: &mut AddressSpace, pm: &mut PhysMem, alloc:
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_name_inverts_name() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::from_name(k.name()), Some(k));
+        }
+        assert_eq!(Kernel::from_name("spice"), None);
+        assert_eq!(Kernel::from_name("Compress"), None, "names are lowercase");
+    }
 
     #[test]
     fn every_kernel_assembles() {

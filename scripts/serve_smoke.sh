@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the smtxd service (the `serve-smoke` CI job):
+#
+#   1. boot smtxd on an ephemeral port;
+#   2. submit a fig5-shaped job via smtx-client and wait for the result;
+#   3. run the fig5 binary directly with the same budget/seed/skip and
+#      diff the returned "columns"/"rows" JSON fragments byte-for-byte —
+#      the service's core guarantee (DESIGN.md §10);
+#   4. resubmit the same spec and require a dedup answer plus a non-zero
+#      shared-cache hit count in /metrics;
+#   5. shut the daemon down gracefully and require a clean exit.
+#
+# Usage: scripts/serve_smoke.sh [--insts N] [--seed N] [--skip N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+INSTS=8000
+SEED=42
+SKIP=20000
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --insts) INSTS="$2"; shift 2 ;;
+        --seed) SEED="$2"; shift 2 ;;
+        --skip) SKIP="$2"; shift 2 ;;
+        *) echo "usage: $0 [--insts N] [--seed N] [--skip N]" >&2; exit 2 ;;
+    esac
+done
+
+SMTXD=./target/release/smtxd
+CLIENT=./target/release/smtx-client
+FIG5=./target/release/fig5
+for bin in "$SMTXD" "$CLIENT" "$FIG5"; do
+    [[ -x "$bin" ]] || { echo "missing $bin — build with: cargo build --release" >&2; exit 1; }
+done
+
+WORK=$(mktemp -d)
+cleanup() {
+    [[ -n "${DAEMON_PID:-}" ]] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# 1. Boot on port 0 and scrape the bound address from the startup line.
+"$SMTXD" --port 0 --workers 2 --skip "$SKIP" > "$WORK/smtxd.log" 2>&1 &
+DAEMON_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^smtxd listening on //p' "$WORK/smtxd.log")
+    [[ -n "$ADDR" ]] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/smtxd.log" >&2; exit 1; }
+    sleep 0.2
+done
+[[ -n "$ADDR" ]] || { echo "smtxd did not report its address" >&2; cat "$WORK/smtxd.log" >&2; exit 1; }
+echo "smtxd up at $ADDR"
+
+# 2. Served fig5.
+"$CLIENT" --addr "$ADDR" submit --experiment fig5 \
+    --insts "$INSTS" --seed "$SEED" --wait --out "$WORK/served.json"
+
+# 3. Direct fig5 with the daemon's engine settings; compare the
+#    columns/rows fragment (wall clock and cache counters legitimately
+#    differ between a fresh process and a warm daemon).
+"$FIG5" --insts "$INSTS" --seed "$SEED" --skip "$SKIP" --json "$WORK/direct.json" > /dev/null
+python3 - "$WORK/served.json" "$WORK/direct.json" <<'EOF'
+import json, sys
+served, direct = (json.load(open(p)) for p in sys.argv[1:3])
+for field in ("experiment", "insts", "seed", "skip", "columns", "rows"):
+    assert served[field] == direct[field], (
+        f"{field} differs:\nserved: {served[field]}\ndirect: {direct[field]}")
+frag = lambda r: json.dumps({"columns": r["columns"], "rows": r["rows"]}, sort_keys=True)
+assert frag(served) == frag(direct)
+print(f"served rows identical to direct fig5 ({len(served['rows'])} rows)")
+EOF
+
+# 4. Dedup + shared caches: the same spec must answer without re-queueing,
+#    and the runner counters must show cache activity.
+RESUBMIT=$("$CLIENT" --addr "$ADDR" submit --experiment fig5 --insts "$INSTS" --seed "$SEED")
+echo "$RESUBMIT" | grep -q '"deduped": true' \
+    || { echo "resubmission was not deduped: $RESUBMIT" >&2; exit 1; }
+METRICS=$("$CLIENT" --addr "$ADDR" metrics)
+echo "$METRICS" | grep -q '^smtxd_jobs_deduped 1$' \
+    || { echo "dedup counter missing:"; echo "$METRICS"; exit 1; } >&2
+CKHITS=$(echo "$METRICS" | sed -n 's/^smtxd_runner_checkpoint_hits //p')
+[[ "$CKHITS" -gt 0 ]] \
+    || { echo "expected checkpoint cache hits, got '$CKHITS'"; echo "$METRICS"; exit 1; } >&2
+echo "dedup + shared caches ok (checkpoint hits: $CKHITS)"
+
+# 5. Graceful shutdown: the daemon must drain and exit by itself.
+"$CLIENT" --addr "$ADDR" shutdown > /dev/null
+for _ in $(seq 1 50); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "smtxd did not exit after shutdown" >&2
+    exit 1
+fi
+wait "$DAEMON_PID"
+DAEMON_PID=""
+grep -q "drained and stopped" "$WORK/smtxd.log" \
+    || { echo "missing clean-exit line:" >&2; cat "$WORK/smtxd.log" >&2; exit 1; }
+echo "serve smoke ok"
