@@ -49,7 +49,8 @@ impl Experiment {
             Runner::new(args.jobs)
                 .with_skip(args.skip)
                 .with_checkpoint_cache(args.checkpoint)
-                .with_idle_skip(args.idle_skip),
+                .with_idle_skip(args.idle_skip)
+                .with_check(args.check),
         );
         Experiment::on_runner(name, args, runner)
     }
@@ -64,10 +65,12 @@ impl Experiment {
         args.skip = runner.skip();
         args.checkpoint = runner.checkpoint_cache();
         args.idle_skip = runner.idle_skip();
+        args.check = runner.check();
         let mut report = Report::new(name, args.insts, args.seed, runner.jobs());
         report.skip = args.skip;
         report.checkpoint = args.checkpoint;
         report.idle_skip = args.idle_skip;
+        report.check = args.check;
         Experiment { args, runner, report, quiet: false, t0: Instant::now() }
     }
 
@@ -172,11 +175,19 @@ mod tests {
 
     #[test]
     fn with_args_threads_two_tier_flags_through() {
-        let args = Args { skip: 1_000, checkpoint: false, idle_skip: false, ..Args::default() };
+        let args = Args {
+            skip: 1_000,
+            checkpoint: false,
+            idle_skip: false,
+            check: true,
+            ..Args::default()
+        };
         let exp = Experiment::with_args("probe", args);
         assert_eq!(exp.runner.skip(), 1_000);
         assert_eq!(exp.report.skip, 1_000);
         assert!(!exp.report.checkpoint);
         assert!(!exp.report.idle_skip);
+        assert!(exp.report.check);
+        assert!(exp.runner.check());
     }
 }

@@ -254,6 +254,11 @@ pub struct Args {
     /// Tier-2 idle-cycle skipping in the detailed core (`--idle-skip
     /// on|off`, default on). Bit-identical rows either way.
     pub idle_skip: bool,
+    /// The `--check on|off` pipeline sanitizer (default off): every
+    /// simulated machine runs the lockstep architectural oracle and the
+    /// per-cycle structural invariants. Observation-only — rows stay
+    /// bit-identical — but any violation aborts the experiment.
+    pub check: bool,
     /// Machine-readable report destination (`--json PATH`).
     pub json: Option<std::path::PathBuf>,
 }
@@ -267,14 +272,15 @@ impl Default for Args {
             skip: 0,
             checkpoint: true,
             idle_skip: true,
+            check: false,
             json: None,
         }
     }
 }
 
 /// Parses the experiment flags from argv: `--insts N`, `--seed N`,
-/// `--jobs N`, `--skip N`, `--checkpoint on|off`, `--idle-skip on|off` and
-/// `--json PATH`. Unknown or malformed arguments abort with a usage
+/// `--jobs N`, `--skip N`, `--checkpoint on|off`, `--idle-skip on|off`,
+/// `--check on|off` and `--json PATH`. Unknown or malformed arguments abort with a usage
 /// message — a silently ignored typo (`--inst 500000`) would otherwise run
 /// the full default-budget experiment and report it as the requested one.
 #[must_use]
@@ -285,7 +291,7 @@ pub fn parse_args() -> Args {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: <experiment> [--insts N] [--seed N] [--jobs N] [--skip N] \
-                 [--checkpoint on|off] [--idle-skip on|off] [--json PATH]"
+                 [--checkpoint on|off] [--idle-skip on|off] [--check on|off] [--json PATH]"
             );
             std::process::exit(2);
         }
@@ -326,6 +332,9 @@ pub fn parse_arg_list<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, S
             }
             "--idle-skip" => {
                 args.idle_skip = parse_on_off("--idle-skip", &value_for("--idle-skip")?)?;
+            }
+            "--check" => {
+                args.check = parse_on_off("--check", &value_for("--check")?)?;
             }
             "--json" => {
                 args.json = Some(value_for("--json")?.into());
@@ -387,7 +396,7 @@ mod tests {
     fn parse_arg_list_accepts_all_flags() {
         let argv = [
             "--insts", "5000", "--seed", "7", "--jobs", "3", "--skip", "20000",
-            "--checkpoint", "off", "--idle-skip", "off", "--json", "out.json",
+            "--checkpoint", "off", "--idle-skip", "off", "--check", "on", "--json", "out.json",
         ]
         .iter()
         .map(|s| s.to_string());
@@ -398,6 +407,7 @@ mod tests {
         assert_eq!(args.skip, 20_000);
         assert!(!args.checkpoint);
         assert!(!args.idle_skip);
+        assert!(args.check);
         assert_eq!(args.json.as_deref(), Some(std::path::Path::new("out.json")));
     }
 
@@ -407,6 +417,7 @@ mod tests {
         assert_eq!(args.skip, 0);
         assert!(args.checkpoint, "checkpoint reuse is the default");
         assert!(args.idle_skip, "idle-cycle skipping is the default");
+        assert!(!args.check, "the sanitizer is opt-in");
     }
 
     #[test]

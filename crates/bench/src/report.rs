@@ -27,6 +27,8 @@ pub struct Report {
     pub checkpoint: bool,
     /// Whether tier-2 idle-cycle skipping was enabled.
     pub idle_skip: bool,
+    /// Whether the `--check` pipeline sanitizer was enabled.
+    pub check: bool,
     /// Wall-clock for the whole experiment.
     pub wall: Duration,
     /// Cache counters from the runner.
@@ -70,6 +72,7 @@ impl Report {
         s.push_str(&format!("  \"skip\": {},\n", self.skip));
         s.push_str(&format!("  \"checkpoint\": {},\n", self.checkpoint));
         s.push_str(&format!("  \"idle_skip\": {},\n", self.idle_skip));
+        s.push_str(&format!("  \"check\": {},\n", self.check));
         s.push_str(&format!("  \"wall_ms\": {},\n", json_f64(self.wall.as_secs_f64() * 1e3)));
         s.push_str(&runner_stats_json(&self.runner, 2));
         s.push_str(&format!(
@@ -161,6 +164,7 @@ fn json_str(s: &str) -> String {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
+            // lint:allow(no-silent-narrowing): char to codepoint, lossless.
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
         }

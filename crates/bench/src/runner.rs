@@ -14,11 +14,11 @@
 //! [`Stats`] whether it is computed serially, in parallel, or served from
 //! the cache — `tests/runner_determinism.rs` holds that gate.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use smtx_core::{Checkpoint, ExnMechanism, Machine, MachineConfig};
+use smtx_core::{CheckConfig, Checkpoint, ExnMechanism, Machine, MachineConfig};
 use smtx_workloads::{kernel_reference, load_kernel, Kernel};
 
 use crate::{
@@ -27,7 +27,7 @@ use crate::{
 
 /// Identity of one unique simulation: everything that influences the
 /// resulting [`smtx_core::Stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RunKey {
     /// Workload kernel.
     pub kernel: Kernel,
@@ -40,7 +40,7 @@ pub struct RunKey {
 }
 
 /// Identity of one multi-application (Fig. 7) simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MixKey {
     /// The three application kernels, in thread order.
     pub mix: [Kernel; 3],
@@ -108,7 +108,7 @@ impl Job {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum JobKey {
     Sim(RunKey),
     Ref(Kernel, u64, u64),
@@ -119,7 +119,7 @@ enum JobKey {
 /// skip)`. Config-independent by construction — the functional interpreter
 /// knows nothing about the machine configuration — which is exactly why one
 /// checkpoint serves every configuration of a sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum CkKey {
     Single(Kernel, u64, u64),
     Mix([Kernel; 3], u64, u64),
@@ -156,10 +156,17 @@ pub struct Runner {
     use_checkpoints: bool,
     /// Tier-2 idle-cycle skipping in the detailed machine.
     idle_skip: bool,
-    sims: Mutex<HashMap<RunKey, Arc<RunResult>>>,
-    refs: Mutex<HashMap<(Kernel, u64, u64), u64>>,
-    mixes: Mutex<HashMap<MixKey, u64>>,
-    checkpoints: Mutex<HashMap<CkKey, Arc<Checkpoint>>>,
+    /// Run every simulated machine under the `--check` pipeline sanitizer.
+    /// Observation-only (rows stay bit-identical) but any violation panics
+    /// the run — a checked experiment must be clean or die loudly.
+    check: bool,
+    // BTreeMaps, not hash maps: cache contents are occasionally drained
+    // for diagnostics, and ordered iteration keeps any such path
+    // deterministic by construction (smtx-lint: no-unordered-iteration).
+    sims: Mutex<BTreeMap<RunKey, Arc<RunResult>>>,
+    refs: Mutex<BTreeMap<(Kernel, u64, u64), u64>>,
+    mixes: Mutex<BTreeMap<MixKey, u64>>,
+    checkpoints: Mutex<BTreeMap<CkKey, Arc<Checkpoint>>>,
     unique_runs: AtomicU64,
     cache_hits: AtomicU64,
     ck_hits: AtomicU64,
@@ -183,10 +190,11 @@ impl Runner {
             skip: 0,
             use_checkpoints: true,
             idle_skip: true,
-            sims: Mutex::new(HashMap::new()),
-            refs: Mutex::new(HashMap::new()),
-            mixes: Mutex::new(HashMap::new()),
-            checkpoints: Mutex::new(HashMap::new()),
+            check: false,
+            sims: Mutex::new(BTreeMap::new()),
+            refs: Mutex::new(BTreeMap::new()),
+            mixes: Mutex::new(BTreeMap::new()),
+            checkpoints: Mutex::new(BTreeMap::new()),
             unique_runs: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             ck_hits: AtomicU64::new(0),
@@ -241,6 +249,19 @@ impl Runner {
         self.idle_skip
     }
 
+    /// Enables or disables the pipeline sanitizer (`--check on|off`).
+    #[must_use]
+    pub fn with_check(mut self, on: bool) -> Runner {
+        self.check = on;
+        self
+    }
+
+    /// Whether the pipeline sanitizer is enabled.
+    #[must_use]
+    pub fn check(&self) -> bool {
+        self.check
+    }
+
     /// Cache-effectiveness counters.
     #[must_use]
     pub fn stats(&self) -> RunnerStats {
@@ -261,7 +282,7 @@ impl Runner {
     /// workload share one fast-forward instead of racing to duplicate it.
     pub fn prefetch(&self, jobs: Vec<Job>) {
         let mut pending = Vec::with_capacity(jobs.len());
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for job in jobs {
             let key = job.key();
             if !seen.insert(key) || self.is_cached(&key) {
@@ -274,7 +295,7 @@ impl Runner {
         }
         if self.use_checkpoints {
             let mut ck_keys = Vec::new();
-            let mut ck_seen = std::collections::HashSet::new();
+            let mut ck_seen = std::collections::BTreeSet::new();
             for job in &pending {
                 let key = match job {
                     Job::Sim { kernel, seed, .. } => CkKey::Single(*kernel, *seed, self.skip),
@@ -363,6 +384,21 @@ impl Runner {
             .clone()
     }
 
+    /// Panics with the collected violation reports if a checked machine
+    /// detected any divergence (no-op when `--check` is off).
+    fn assert_check_clean(&self, m: &Machine, what: &str) {
+        let total = m.check_violation_count();
+        assert!(
+            total == 0,
+            "--check found {total} violation(s) running {what}:\n{}",
+            m.check_violations()
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
     fn is_cached(&self, key: &JobKey) -> bool {
         match key {
             JobKey::Sim(k) => self.sims.lock().expect("sim cache").contains_key(k),
@@ -408,6 +444,9 @@ impl Runner {
         // being deterministic, never changes the cached value.
         let mut m = Machine::new(config.clone());
         m.set_idle_skip(self.idle_skip);
+        if self.check {
+            m.set_check(Some(CheckConfig::default()));
+        }
         if self.skip == 0 && !self.use_checkpoints {
             load_kernel(&mut m, 0, kernel, seed);
         } else {
@@ -416,6 +455,7 @@ impl Runner {
         }
         m.set_budget(0, insts);
         m.run(cycle_cap(insts));
+        self.assert_check_clean(&m, &format!("{} seed {seed}", kernel.name()));
         let stats = m.stats().clone();
         assert_eq!(stats.retired(0), insts, "{} did not finish", kernel.name());
         let arch_misses = self.arch_misses(kernel, seed, insts);
@@ -493,6 +533,9 @@ impl Runner {
         }
         let mut m = Machine::new(config.clone());
         m.set_idle_skip(self.idle_skip);
+        if self.check {
+            m.set_check(Some(CheckConfig::default()));
+        }
         if self.skip == 0 && !self.use_checkpoints {
             for (tid, &k) in mix.iter().enumerate() {
                 load_kernel(&mut m, tid, k, seed + tid as u64);
@@ -505,6 +548,7 @@ impl Runner {
             m.set_budget(tid, insts);
         }
         m.run(cycle_cap(insts * 3));
+        self.assert_check_clean(&m, &format!("{mix:?} seed {seed}"));
         for tid in 0..3 {
             assert_eq!(m.stats().retired(tid), insts, "{mix:?} thread {tid} unfinished");
         }
@@ -597,6 +641,15 @@ mod tests {
         // A second config against the cached runner reuses the checkpoint.
         let hw = config_with_idle(ExnMechanism::Hardware, 1);
         let _ = cached.run(Kernel::Compress, 42, 3_000, &hw);
+    }
+
+    #[test]
+    fn checked_runner_matches_unchecked_bit_for_bit() {
+        let cfg = config_with_idle(ExnMechanism::Multithreaded, 1);
+        let plain = Runner::new(1).run(Kernel::Compress, 42, 5_000, &cfg);
+        let checked = Runner::new(1).with_check(true).run(Kernel::Compress, 42, 5_000, &cfg);
+        assert_eq!(plain.stats, checked.stats, "--check must be observation-only");
+        assert_eq!(plain.cycles, checked.cycles);
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! `smtx-check`: the workspace's correctness-analysis layer.
+//!
+//! Two halves, one discipline:
+//!
+//! * **`smtx-lint`** ([`rules`], [`lexer`]) — a std-only static-analysis
+//!   pass over the workspace's own sources, enforcing the determinism and
+//!   robustness rules the simulator's byte-identical-rows contract depends
+//!   on (no unordered iteration in result paths, no wall clocks in
+//!   simulated time, no floats in the cycle model, no silent counter
+//!   narrowing, no panics in request parsing). Run as
+//!   `cargo run -p smtx-check -- lint`.
+//! * **Splice verification** ([`splice`]) — a trace-level checker of the
+//!   paper's §4.1/Fig. 1c retirement-splice contract, complementing the
+//!   runtime `--check` sanitizer that lives in `smtx-core` (see
+//!   `Machine::set_check`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod splice;
+
+pub use rules::{lint_root, lint_source, LintViolation, RULE_NAMES};
+pub use splice::{verify_trace, HandlerSpec};

@@ -1,0 +1,70 @@
+//! The `smtx-check` CLI: `cargo run -p smtx-check -- lint [--root PATH]`.
+//!
+//! Lints every `.rs` file under `<root>/crates/*/src` and exits nonzero if
+//! any rule fires, printing one `path:line: [rule] message` per finding.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: smtx-check lint [--root PATH]
+
+Runs smtx-lint over every .rs file under <root>/crates/*/src (root
+defaults to the current directory). Exits 1 if any rule fires.
+
+Rules:
+  no-unordered-iteration   no HashMap/HashSet in result-affecting paths
+  no-wallclock-in-core     no Instant/SystemTime in simulated-time crates
+  no-float-in-model        no f32/f64 in cycle-model state or stats
+  no-silent-narrowing      no truncating `as` casts on counters
+  no-unwrap-in-serve       no panics in the HTTP request-parsing path
+
+Escape hatch: `// lint:allow(rule-name): justification` on the offending
+line, or on its own line immediately above (covers a following block).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = std::path::PathBuf::from(".");
+    let mut saw_lint = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "lint" => saw_lint = true,
+            "--root" => match it.next() {
+                Some(p) => root = std::path::PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !saw_lint {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    match smtx_check::lint_root(&root) {
+        Ok((violations, files)) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                println!("smtx-lint: {files} files clean");
+                ExitCode::SUCCESS
+            } else {
+                println!("smtx-lint: {} violation(s) in {files} files", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("smtx-check: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

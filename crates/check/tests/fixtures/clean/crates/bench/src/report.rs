@@ -1,0 +1,9 @@
+//! Clean fixture: widening casts never fire the narrowing rule.
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn ratio(a: u64, b: u64) -> f64 {
+    a as f64 / b.max(1) as f64
+}

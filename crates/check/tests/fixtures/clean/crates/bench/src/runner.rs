@@ -1,0 +1,12 @@
+//! Clean fixture: ordered containers, plus a justified unordered map.
+
+use std::collections::BTreeMap;
+
+// lint:allow(no-unordered-iteration): keyed probes only, never iterated.
+use smtx_util::FastHashMap;
+
+pub struct Cache {
+    runs: BTreeMap<u64, u64>,
+    // lint:allow(no-unordered-iteration): probe-only MSHR-style table.
+    inflight: FastHashMap<u64, u64>,
+}

@@ -1,0 +1,8 @@
+//! Clean fixture: wall-clock names in prose and literals must not fire.
+//!
+//! The Instant-fetch path described here is simulated time, and the string
+//! below merely names the banned type.
+
+pub fn describe() -> &'static str {
+    "never reads SystemTime"
+}

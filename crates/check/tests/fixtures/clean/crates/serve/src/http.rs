@@ -1,0 +1,19 @@
+//! Clean fixture: fallible parsing with defaults; unwraps only in tests.
+
+pub fn content_length(header: &str) -> Option<u64> {
+    header.split(':').nth(1)?.trim().parse().ok()
+}
+
+pub fn length_or_zero(header: &str) -> u64 {
+    content_length(header).unwrap_or_default().max(content_length(header).unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses() {
+        assert_eq!(content_length("Content-Length: 12").unwrap(), 12);
+    }
+}

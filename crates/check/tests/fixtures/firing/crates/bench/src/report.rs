@@ -1,0 +1,5 @@
+//! Firing fixture: a truncating cast on a counter.
+
+pub fn pack(cycles: u64) -> u32 {
+    cycles as u32
+}

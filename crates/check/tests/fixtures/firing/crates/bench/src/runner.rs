@@ -1,0 +1,7 @@
+//! Firing fixture: an unordered map declared in a result-affecting path.
+
+use std::collections::HashMap;
+
+pub struct Cache {
+    runs: HashMap<u64, u64>,
+}

@@ -1,0 +1,8 @@
+//! Firing fixture: a wall-clock read inside the cycle model.
+
+use std::time::Instant;
+
+pub fn step() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

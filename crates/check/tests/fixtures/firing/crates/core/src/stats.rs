@@ -1,0 +1,6 @@
+//! Firing fixture: floating-point state in the statistics block.
+
+pub struct Stats {
+    pub cycles: u64,
+    pub avg_latency: f64,
+}

@@ -1,0 +1,5 @@
+//! Firing fixture: a panic in the request-parsing path.
+
+pub fn content_length(header: &str) -> u64 {
+    header.split(':').nth(1).unwrap().trim().parse().unwrap()
+}

@@ -1,0 +1,55 @@
+//! smtx-lint against the fixture corpus: every rule must fire on its
+//! firing fixture and stay silent on the clean tree.
+
+use std::path::Path;
+
+use smtx_check::{lint_root, LintViolation, RULE_NAMES};
+
+fn fixture_root(which: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(which)
+}
+
+#[test]
+fn every_rule_fires_on_its_fixture() {
+    let (violations, files) = lint_root(&fixture_root("firing")).expect("lint firing tree");
+    assert_eq!(files, 5, "one firing fixture per rule");
+    for rule in RULE_NAMES {
+        assert!(
+            violations.iter().any(|v| v.rule == rule),
+            "rule {rule} found nothing; got {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn firing_fixtures_fire_at_the_planted_lines() {
+    let (violations, _) = lint_root(&fixture_root("firing")).expect("lint firing tree");
+    let find = |rule: &str| -> &LintViolation {
+        violations.iter().find(|v| v.rule == rule).expect(rule)
+    };
+    assert_eq!(find("no-unordered-iteration").path, "crates/bench/src/runner.rs");
+    assert_eq!(find("no-unordered-iteration").line, 3);
+    assert_eq!(find("no-wallclock-in-core").path, "crates/core/src/machine/mod.rs");
+    assert_eq!(find("no-float-in-model").path, "crates/core/src/stats.rs");
+    assert_eq!(find("no-float-in-model").line, 5);
+    assert_eq!(find("no-silent-narrowing").path, "crates/bench/src/report.rs");
+    assert_eq!(find("no-silent-narrowing").line, 4);
+    assert_eq!(find("no-unwrap-in-serve").path, "crates/serve/src/http.rs");
+    assert_eq!(find("no-unwrap-in-serve").line, 4);
+}
+
+#[test]
+fn clean_tree_is_silent() {
+    let (violations, files) = lint_root(&fixture_root("clean")).expect("lint clean tree");
+    assert_eq!(files, 5);
+    assert!(violations.is_empty(), "clean fixtures must not fire: {violations:?}");
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The CI gate in executable form: the real tree stays lint-clean.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (violations, files) = lint_root(&root).expect("lint workspace");
+    assert!(files > 50, "walker found only {files} files");
+    assert!(violations.is_empty(), "workspace lint violations: {violations:#?}");
+}

@@ -1,0 +1,175 @@
+//! The `--check` pipeline sanitizer, end to end: a real machine run under
+//! checking is violation-free and byte-identical to the unchecked run, and
+//! a mutated retirement trace is caught with exactly one violation.
+
+use smtx_check::{verify_trace, HandlerSpec};
+use smtx_core::{CheckConfig, ExnMechanism, Machine, MachineConfig, ThreadState};
+use smtx_isa::{PrivReg, Program, ProgramBuilder, Reg};
+use smtx_mem::{AddressSpace, PhysAlloc, PhysMem, PAGE_SIZE};
+
+/// The canonical software TLB-miss handler (same routine as the core
+/// crate's own tests).
+fn pal_handler() -> Program {
+    let mut b = ProgramBuilder::with_base(0);
+    b.mfpr(Reg(1), PrivReg::FaultVa);
+    b.mfpr(Reg(2), PrivReg::PtBase);
+    b.srli(Reg(3), Reg(1), 13);
+    b.slli(Reg(3), Reg(3), 3);
+    b.add(Reg(3), Reg(3), Reg(2));
+    b.ldq(Reg(4), Reg(3), 0);
+    b.andi(Reg(5), Reg(4), 1);
+    b.beq(Reg(5), "fault");
+    b.tlbwr(Reg(1), Reg(4));
+    b.rfe();
+    b.label("fault");
+    b.hardexc();
+    b.rfe();
+    b.build().expect("handler assembles")
+}
+
+const DATA_BASE: u64 = 0x2000_0000;
+
+/// Strides over `pages` pages with a dependent sum; every cold page is a
+/// DTLB miss, exercising handler spawn, splice, and window reservation.
+fn touch_pages(pages: u64, reps: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg(10), DATA_BASE);
+    b.li(Reg(11), pages * PAGE_SIZE);
+    b.li(Reg(14), reps);
+    b.label("rep");
+    b.li(Reg(12), 0);
+    b.li(Reg(13), 0);
+    b.label("loop");
+    b.add(Reg(1), Reg(10), Reg(12));
+    b.ldq(Reg(2), Reg(1), 0);
+    b.add(Reg(13), Reg(13), Reg(2));
+    b.stq(Reg(13), Reg(1), 8);
+    b.addi(Reg(12), Reg(12), 1024);
+    b.sub(Reg(3), Reg(12), Reg(11));
+    b.blt(Reg(3), "loop");
+    b.addi(Reg(14), Reg(14), -1);
+    b.bne(Reg(14), "rep");
+    b.halt();
+    b.build().expect("assembles")
+}
+
+fn setup_data(space: &mut AddressSpace, pm: &mut PhysMem, alloc: &mut PhysAlloc, pages: u64) {
+    space.map_region(pm, alloc, DATA_BASE, pages);
+    for i in 0..pages {
+        for off in (0..PAGE_SIZE).step_by(1024) {
+            space
+                .write_u64(pm, DATA_BASE + i * PAGE_SIZE + off, i * 31 + off)
+                .expect("mapped");
+        }
+    }
+}
+
+/// Builds, loads, and runs one machine; `check` turns the sanitizer on.
+fn run_machine(config: MachineConfig, pages: u64, check: bool, log: bool) -> Machine {
+    let program = touch_pages(pages, 2);
+    let mut m = Machine::new(config);
+    if check {
+        m.set_check(Some(CheckConfig::default()));
+    }
+    if log {
+        m.enable_retire_log();
+    }
+    m.install_pal_handler(&pal_handler());
+    let space = m.attach_program(0, &program);
+    {
+        let (sp, pm, alloc) = m.vm_parts(space);
+        setup_data(sp, pm, alloc, pages);
+    }
+    m.run(8_000_000);
+    assert_eq!(m.thread_state(0), ThreadState::Halted);
+    m
+}
+
+/// A handler-spawning multithreaded run under full checking: no
+/// violations, and — the observation-only contract — stats bit-identical
+/// to the unchecked run.
+#[test]
+fn checked_run_is_clean_and_byte_identical() {
+    let config = MachineConfig::paper_baseline(ExnMechanism::Multithreaded).with_threads(2);
+    let checked = run_machine(config.clone(), 8, true, false);
+    assert!(checked.stats().handlers_spawned >= 1, "exercise the splice path");
+    assert_eq!(
+        checked.check_violation_count(),
+        0,
+        "sanitizer violations: {:#?}",
+        checked.check_violations()
+    );
+    let unchecked = run_machine(config, 8, false, false);
+    assert_eq!(checked.stats(), unchecked.stats(), "checking must not perturb results");
+    assert_eq!(checked.cycle(), unchecked.cycle());
+}
+
+/// The §4.4 stress shape — a tiny window forcing reservation handling and
+/// deadlock squashes — also runs clean under the sanitizer.
+#[test]
+fn tiny_window_deadlock_path_is_clean_under_check() {
+    let config = MachineConfig::paper_baseline(ExnMechanism::Multithreaded)
+        .with_width_window(2, 8)
+        .with_threads(2);
+    let m = run_machine(config, 8, true, false);
+    assert!(m.stats().deadlock_squashes >= 1, "exercise the tail-squash path");
+    assert_eq!(
+        m.check_violation_count(),
+        0,
+        "sanitizer violations: {:#?}",
+        m.check_violations()
+    );
+}
+
+/// The traditional trap mechanism under check: the lockstep oracle covers
+/// the squash-and-refetch path too.
+#[test]
+fn traditional_mechanism_is_clean_under_check() {
+    let config = MachineConfig::paper_baseline(ExnMechanism::Traditional).with_threads(2);
+    let m = run_machine(config, 8, true, false);
+    assert!(m.stats().traps >= 8, "every cold page traps");
+    assert_eq!(
+        m.check_violation_count(),
+        0,
+        "sanitizer violations: {:#?}",
+        m.check_violations()
+    );
+}
+
+/// Mutation test: take a *real* retirement trace, verify the first handler
+/// episode splices cleanly, then flip the excepting retirement ahead of
+/// the handler and assert the verifier reports exactly one violation.
+#[test]
+fn flipped_splice_order_yields_exactly_one_violation() {
+    let config = MachineConfig::paper_baseline(ExnMechanism::Multithreaded).with_threads(2);
+    let m = run_machine(config, 8, true, true);
+    let trace = m.retire_log().expect("log enabled");
+    assert_eq!(m.check_violation_count(), 0);
+
+    // First handler episode: the first contiguous run of handler-context
+    // (pal, tid 1) events; the master's next retirement is the excepting
+    // instruction (Fig. 1c: it retires only once the handler is done).
+    let first = trace.iter().position(|e| e.tid == 1).expect("a handler ran");
+    let mut end = first;
+    while end < trace.len() && trace[end].tid == 1 {
+        end += 1;
+    }
+    let exc = trace[end..].iter().position(|e| e.tid == 0).expect("master resumes") + end;
+    let exc_seq = trace[exc].seq;
+    let spec = HandlerSpec { handler_tid: 1, master: 0, exc_seq };
+
+    // The machine's own trace splices correctly...
+    let mut toy: Vec<_> = trace[..=exc].to_vec();
+    assert!(verify_trace(&toy, &[spec]).is_empty(), "real trace must be clean");
+
+    // ...and the mutated one — excepting instruction hoisted ahead of the
+    // whole handler — is caught exactly once.
+    let hoisted = toy.remove(exc);
+    toy.insert(first, hoisted);
+    let violations = verify_trace(&toy, &[spec]);
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    assert_eq!(violations[0].rule, "splice-ordering");
+    assert_eq!(violations[0].seq, Some(exc_seq));
+    assert_eq!(violations[0].tid, Some(0));
+    assert_eq!(violations[0].cycle, first as u64, "index of the planted event");
+}

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod check;
 mod checkpoint;
 mod config;
 pub mod dyninst;
@@ -52,6 +53,7 @@ mod refmodel;
 mod stats;
 mod thread;
 
+pub use check::{CheckConfig, CheckViolation};
 pub use checkpoint::{Checkpoint, ThreadCheckpoint};
 pub use config::{ExnMechanism, FuConfig, LimitKnobs, MachineConfig};
 pub use machine::{ActiveHandler, HandlerKind, Machine, RetireEvent};

@@ -580,6 +580,11 @@ impl Machine {
         if self.threads[tid].is_handler() {
             self.handler_insts_in_window -= 1;
         }
+        // Sanitizer hook *before* the commit: splice-order checks and the
+        // lockstep oracle, which must observe the pre-commit register files.
+        if self.checker.is_some() {
+            self.check_retire(tid, &inst, now);
+        }
 
         // Commit the destination and release the rename-map entry.
         if let Some((class, idx)) = inst.dest {

@@ -153,6 +153,9 @@ impl Machine {
         });
         self.window.get_mut(&seq).expect("present").handler_tid = Some(handler_tid);
         self.park_on_fill(seq, key);
+        if self.checker.is_some() {
+            self.check_handler_spawn(handler_tid, now);
+        }
 
         if self.config.limits.instant_handler_fetch {
             self.inject_handler_instantly(handler_tid, now, self.pal_base, self.pal_len);
@@ -215,6 +218,9 @@ impl Machine {
         });
         self.window.get_mut(&seq).expect("present").handler_tid = Some(handler_tid);
         self.park_on_fill(seq, key);
+        if self.checker.is_some() {
+            self.check_handler_spawn(handler_tid, now);
+        }
         if self.config.limits.instant_handler_fetch {
             self.inject_handler_instantly(handler_tid, now, emul_base, emul_len);
         } else if self.config.mechanism == ExnMechanism::QuickStart {

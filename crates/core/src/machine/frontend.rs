@@ -384,5 +384,10 @@ impl Machine {
             self.pending_issue.push(std::cmp::Reverse((earliest_issue, fe.seq)));
         }
         self.window.insert(fe.seq, di);
+        // Sanitizer hook: admission control must have respected the §4.4
+        // capacity and reservation rules for this insertion.
+        if self.checker.is_some() {
+            self.check_admission(tid, fe.seq, self.cycle);
+        }
     }
 }

@@ -14,9 +14,12 @@ use std::collections::BinaryHeap;
 use std::cmp::Reverse;
 
 use smtx_isa::Program;
+// lint:allow(no-unordered-iteration): every map below documents why its
+// iteration order never reaches simulated behavior.
 use smtx_util::FastHashMap;
 use smtx_mem::{AddressSpace, Asid, MemorySystem, PhysAlloc, PhysMem, Tlb, PAGE_SIZE};
 
+use crate::check::Checker;
 use crate::config::MachineConfig;
 use crate::dyninst::{DynInst, PredInfo};
 use crate::stats::Stats;
@@ -91,15 +94,21 @@ pub struct Machine {
     /// map, not an ordered map: every per-seq probe is O(1), and the one
     /// consumer that needs fetch order (the issue scan) sorts its candidate
     /// list, so simulated behavior is identical to an ordered walk.
+    // lint:allow(no-unordered-iteration): probes are keyed; the issue scan
+    // sorts its candidates, so map order never affects results.
     pub(crate) window: FastHashMap<u64, DynInst>,
     /// Handler-thread instructions currently in the window (for the
     /// free-window limit knob).
     pub(crate) handler_insts_in_window: usize,
     /// producer seq → (consumer seq, operand slot).
+    // lint:allow(no-unordered-iteration): only keyed entry/remove probes;
+    // the per-producer Vec preserves rename order.
     pub(crate) consumers: FastHashMap<u64, Vec<(u64, usize)>>,
     /// Completion events: (cycle, seq).
     pub(crate) events: BinaryHeap<Reverse<(u64, u64)>>,
     /// Loads/stores waiting on a TLB fill, by (asid, vpn).
+    // lint:allow(no-unordered-iteration): only keyed probes and a debug
+    // dump; wake order comes from the per-key Vec, not map order.
     pub(crate) waiters: FastHashMap<(Asid, u64), Vec<u64>>,
     pub(crate) handlers: Vec<ActiveHandler>,
     pub(crate) walks: Vec<Walk>,
@@ -135,6 +144,11 @@ pub struct Machine {
     pub(crate) pending_issue: BinaryHeap<Reverse<(u64, u64)>>,
     /// Reused per-cycle scratch for the decode-order thread list.
     pub(crate) scratch_order: Vec<usize>,
+    /// The `--check` pipeline sanitizer (off by default; see
+    /// [`Machine::set_check`]). Like `idle_skip`, deliberately *not* part
+    /// of [`MachineConfig`]: checking is observation-only and must not
+    /// perturb config digests or memoized run keys.
+    pub(crate) checker: Option<Checker>,
 }
 
 /// One entry of the optional retirement trace (see
@@ -189,6 +203,7 @@ impl Machine {
             ready_seqs: Vec::new(),
             pending_issue: BinaryHeap::new(),
             scratch_order: Vec::new(),
+            checker: None,
         }
     }
 
@@ -585,6 +600,9 @@ impl Machine {
         }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        if self.checker.is_some() {
+            self.check_cycle_end();
+        }
         self.debug_check_invariants();
     }
 
@@ -747,34 +765,12 @@ impl Machine {
 
     #[cfg(debug_assertions)]
     fn debug_check_invariants(&self) {
-        assert!(
-            self.window.len() <= self.config.window + self.handler_insts_in_window,
-            "window overflow: {} > {} (+{} handler)",
-            self.window.len(),
-            self.config.window,
-            self.handler_insts_in_window
-        );
-        let rob_total: usize = self.threads.iter().map(|t| t.rob.len()).sum();
-        assert_eq!(rob_total, self.window.len(), "rob/window desync");
-        for (tid, t) in self.threads.iter().enumerate() {
-            let mut prev = None;
-            for &s in &t.rob {
-                assert!(Some(s) > prev, "rob out of order for thread {tid}");
-                assert_eq!(self.window[&s].tid, tid, "window entry wrong thread");
-                prev = Some(s);
-            }
-        }
-        // The wake-up list must stay a superset of the issuable set: if an
-        // instruction could issue but is missing from `ready_seqs`, the
-        // scheduler would silently never consider it.
-        for (&s, i) in &self.window {
-            if !i.issued && !i.done && i.waiting_tlb.is_none() && i.srcs_ready() {
-                assert!(
-                    self.ready_seqs.contains(&s)
-                        || self.pending_issue.iter().any(|&Reverse((_, q))| q == s),
-                    "issuable seq {s} missing from the wake-up list"
-                );
-            }
+        // Shares the structural collector with the `--check` sanitizer (the
+        // cheap tier only: the deep rename-map scan is checker-only).
+        let mut found = Vec::new();
+        self.collect_structural_violations(false, &mut found);
+        if let Some(v) = found.first() {
+            panic!("structural invariant violated: {v}");
         }
     }
 

@@ -85,6 +85,8 @@ impl Stats {
 
     /// User-mode IPC across all contexts.
     #[must_use]
+    // lint:allow(no-float-in-model): derived display-only metric computed
+    // from integer counters at the edge; no float feeds back into state.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
             0.0

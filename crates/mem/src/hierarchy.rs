@@ -5,6 +5,8 @@
 //! for a memory access (3 of which are the load port's own latency, modelled
 //! by the pipeline).
 
+// lint:allow(no-unordered-iteration): keyed probes and order-insensitive
+// scans only; see the `inflight` field for the full argument.
 use smtx_util::FastHashMap;
 
 use crate::cache::{Cache, CacheGeometry};
@@ -97,6 +99,7 @@ pub struct MemorySystem {
     /// In-flight fills keyed by (port, L1 line address) → fill-complete
     /// cycle. Only keyed probes and order-insensitive scans (`retain`,
     /// `min`) touch it, so a fast non-SipHash map is behaviorally safe.
+    // lint:allow(no-unordered-iteration): no result-affecting iteration.
     inflight: FastHashMap<(Port, Paddr), u64>,
     mem_accesses: u64,
     mshr_merges: u64,

@@ -22,7 +22,8 @@ use smtx_serve::json::{quote, Json};
 
 const USAGE: &str = "usage: smtx-client [--addr HOST:PORT] <command>
   submit (--experiment NAME | --kernel NAME [--mechanism M] [--idle N])
-         [--insts N] [--seed N] [--deadline-ms N] [--wait] [--out PATH]
+         [--insts N] [--seed N] [--check on|off] [--deadline-ms N]
+         [--wait] [--out PATH]
   status <id>
   result <id> [--out PATH]
   metrics
@@ -66,6 +67,7 @@ struct Submit {
     idle: Option<u64>,
     insts: Option<u64>,
     seed: Option<u64>,
+    check: Option<bool>,
     deadline_ms: Option<u64>,
     wait: bool,
     out: Option<String>,
@@ -79,6 +81,7 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> Submit {
         idle: None,
         insts: None,
         seed: None,
+        check: None,
         deadline_ms: None,
         wait: false,
         out: None,
@@ -97,6 +100,13 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> Submit {
             "--idle" => s.idle = Some(num("--idle", value_for("--idle"))),
             "--insts" => s.insts = Some(num("--insts", value_for("--insts"))),
             "--seed" => s.seed = Some(num("--seed", value_for("--seed"))),
+            "--check" => {
+                s.check = Some(match value_for("--check").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => die(&format!("--check: expected `on` or `off`, got `{other}`")),
+                });
+            }
             "--deadline-ms" => {
                 s.deadline_ms = Some(num("--deadline-ms", value_for("--deadline-ms")));
             }
@@ -130,6 +140,9 @@ fn submit_body(s: &Submit) -> String {
     }
     if let Some(v) = s.seed {
         fields.push(format!("\"seed\": {v}"));
+    }
+    if let Some(c) = s.check {
+        fields.push(format!("\"check\": {c}"));
     }
     if let Some(d) = s.deadline_ms {
         fields.push(format!("\"deadline_ms\": {d}"));

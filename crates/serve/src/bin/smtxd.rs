@@ -7,7 +7,7 @@ use smtx_serve::{server, ServiceConfig};
 
 const USAGE: &str = "usage: smtxd [--addr HOST] [--port N] [--workers N] [--runner-jobs N] \
  [--queue-cap N] [--results-cap N] [--deadline-ms N] [--skip N] \
- [--checkpoint on|off] [--idle-skip on|off]";
+ [--checkpoint on|off] [--idle-skip on|off] [--check on|off]";
 
 struct Opts {
     addr: String,
@@ -58,6 +58,9 @@ fn parse(argv: impl IntoIterator<Item = String>) -> Result<Opts, String> {
             }
             "--idle-skip" => {
                 opts.config.idle_skip = on_off("--idle-skip", &value_for("--idle-skip")?)?;
+            }
+            "--check" => {
+                opts.config.check = on_off("--check", &value_for("--check")?)?;
             }
             other => return Err(format!("unknown argument `{other}`")),
         }

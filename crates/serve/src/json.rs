@@ -176,7 +176,8 @@ impl Parser<'_> {
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.pos += 1;
         }
-        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
         let v: f64 = raw.parse().map_err(|e| format!("bad number `{raw}`: {e}"))?;
         Ok(Json::Num(v, raw.to_string()))
     }
@@ -225,7 +226,9 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid UTF-8 in string")?;
-                    let c = rest.chars().next().expect("non-empty");
+                    let Some(c) = rest.chars().next() else {
+                        return Err("unterminated string".to_string());
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

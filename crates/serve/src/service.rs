@@ -13,7 +13,7 @@
 //! quiet [`Experiment`] frame — the very code the binaries call — and the
 //! stored result *is* `Report::to_json()`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -45,6 +45,9 @@ pub struct ServiceConfig {
     pub checkpoint: bool,
     /// Whether the shared runner skips idle cycles (tier 2).
     pub idle_skip: bool,
+    /// Default for jobs that do not say: run under the `--check` pipeline
+    /// sanitizer (observation-only; rows stay byte-identical).
+    pub check: bool,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +61,7 @@ impl Default for ServiceConfig {
             skip: 0,
             checkpoint: true,
             idle_skip: true,
+            check: false,
         }
     }
 }
@@ -74,6 +78,8 @@ pub enum JobSpec {
         insts: u64,
         /// Workload seed.
         seed: u64,
+        /// Run under the pipeline sanitizer (`None` = the daemon default).
+        check: Option<bool>,
     },
     /// One kernel under one mechanism: cycles, IPC, penalty per miss.
     Run {
@@ -87,6 +93,8 @@ pub enum JobSpec {
         mechanism: ExnMechanism,
         /// Idle SMT contexts alongside the application thread.
         idle: usize,
+        /// Run under the pipeline sanitizer (`None` = the daemon default).
+        check: Option<bool>,
     },
 }
 
@@ -112,6 +120,10 @@ impl JobSpec {
             None => 42,
             Some(n) => n.as_u64().ok_or("`seed` must be a non-negative integer")?,
         };
+        let check = match v.get("check") {
+            None => None,
+            Some(b) => Some(b.as_bool().ok_or("`check` must be a boolean")?),
+        };
         match (v.get("experiment"), v.get("kernel")) {
             (Some(_), Some(_)) => Err("give `experiment` or `kernel`, not both".to_string()),
             (None, None) => Err("missing `experiment` or `kernel`".to_string()),
@@ -123,7 +135,7 @@ impl JobSpec {
                         figures::ALL.join(", ")
                     ));
                 }
-                Ok(JobSpec::Experiment { name: name.to_string(), insts, seed })
+                Ok(JobSpec::Experiment { name: name.to_string(), insts, seed, check })
             }
             (None, Some(k)) => {
                 let kname = k.as_str().ok_or("`kernel` must be a string")?;
@@ -153,7 +165,7 @@ impl JobSpec {
                 if idle > 7 {
                     return Err("`idle` must be at most 7".to_string());
                 }
-                Ok(JobSpec::Run { kernel, seed, insts, mechanism, idle })
+                Ok(JobSpec::Run { kernel, seed, insts, mechanism, idle, check })
             }
         }
     }
@@ -164,37 +176,61 @@ impl JobSpec {
     pub fn id(&self) -> String {
         let mut h = StableHasher::new();
         match self {
-            JobSpec::Experiment { name, insts, seed } => {
+            JobSpec::Experiment { name, insts, seed, check } => {
                 h.write(b"experiment");
                 h.write(name.as_bytes());
                 h.write_u64(*insts);
                 h.write_u64(*seed);
+                h.write(Self::check_tag(*check));
             }
-            JobSpec::Run { kernel, seed, insts, mechanism, idle } => {
+            JobSpec::Run { kernel, seed, insts, mechanism, idle, check } => {
                 h.write(b"run");
                 h.write(kernel.name().as_bytes());
                 h.write_u64(*seed);
                 h.write_u64(*insts);
                 h.write(mechanism.label().as_bytes());
                 h.write_usize(*idle);
+                h.write(Self::check_tag(*check));
             }
         }
         format!("{:016x}", h.finish())
     }
 
+    fn check_tag(check: Option<bool>) -> &'static [u8] {
+        match check {
+            // The historical id encoding predates `check`; the default
+            // hashes to the same id so pre-existing clients still dedup.
+            None => b"",
+            Some(true) => b"check:on",
+            Some(false) => b"check:off",
+        }
+    }
+
+    /// The job's sanitizer request (`None` = use the daemon default).
+    #[must_use]
+    pub fn check(&self) -> Option<bool> {
+        match self {
+            JobSpec::Experiment { check, .. } | JobSpec::Run { check, .. } => *check,
+        }
+    }
+
     /// Human-readable one-liner for status payloads and logs.
     #[must_use]
     pub fn describe(&self) -> String {
-        match self {
-            JobSpec::Experiment { name, insts, seed } => {
+        let mut s = match self {
+            JobSpec::Experiment { name, insts, seed, .. } => {
                 format!("{name} insts={insts} seed={seed}")
             }
-            JobSpec::Run { kernel, seed, insts, mechanism, idle } => format!(
+            JobSpec::Run { kernel, seed, insts, mechanism, idle, .. } => format!(
                 "run {} mechanism={} idle={idle} insts={insts} seed={seed}",
                 kernel.name(),
                 mechanism.label()
             ),
+        };
+        if let Some(check) = self.check() {
+            s.push_str(if check { " check=on" } else { " check=off" });
         }
+        s
     }
 }
 
@@ -245,7 +281,10 @@ struct JobRecord {
 
 struct Inner {
     queue: VecDeque<String>,
-    jobs: HashMap<String, JobRecord>,
+    /// Keyed by job id. A BTreeMap so any listing or sweep over the table
+    /// comes out in one deterministic order (smtx-lint:
+    /// no-unordered-iteration).
+    jobs: BTreeMap<String, JobRecord>,
     /// Finished ids, oldest first — the LRU eviction order.
     finished: VecDeque<String>,
     draining: bool,
@@ -258,6 +297,12 @@ pub struct Service {
     pub config: ServiceConfig,
     /// The shared memoizing executor — the reason the daemon exists.
     pub runner: Arc<Runner>,
+    /// A second shared runner with the pipeline sanitizer on, serving jobs
+    /// that request `check`. Separate from `runner` so checked and
+    /// unchecked jobs each hit a cache built the way they asked for —
+    /// results are byte-identical either way, but a checked job must
+    /// actually *run* checked, not be served from an unchecked memo.
+    pub checked_runner: Arc<Runner>,
     /// Observability counters.
     pub metrics: Metrics,
     inner: Mutex<Inner>,
@@ -272,19 +317,25 @@ impl Service {
     /// [`Service::worker_loop`] is the worker body).
     #[must_use]
     pub fn new(config: ServiceConfig) -> Arc<Service> {
-        let runner = Arc::new(
-            Runner::new(config.runner_jobs)
-                .with_skip(config.skip)
-                .with_checkpoint_cache(config.checkpoint)
-                .with_idle_skip(config.idle_skip),
-        );
+        let build = |check: bool| {
+            Arc::new(
+                Runner::new(config.runner_jobs)
+                    .with_skip(config.skip)
+                    .with_checkpoint_cache(config.checkpoint)
+                    .with_idle_skip(config.idle_skip)
+                    .with_check(check),
+            )
+        };
+        let runner = build(false);
+        let checked_runner = build(true);
         Arc::new(Service {
             config,
             runner,
+            checked_runner,
             metrics: Metrics::default(),
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
-                jobs: HashMap::new(),
+                jobs: BTreeMap::new(),
                 finished: VecDeque::new(),
                 draining: false,
                 busy: 0,
@@ -490,17 +541,18 @@ impl Service {
     /// field (rows byte-identical; wall clock and cache counters reflect
     /// the daemon's shared state).
     fn execute(&self, spec: &JobSpec) -> String {
+        let checked = spec.check().unwrap_or(self.config.check);
+        let runner = if checked { &self.checked_runner } else { &self.runner };
         match spec {
-            JobSpec::Experiment { name, insts, seed } => {
+            JobSpec::Experiment { name, insts, seed, .. } => {
                 let args = Args { insts: *insts, seed: *seed, ..Args::default() };
-                let mut exp =
-                    Experiment::on_runner(name, args, Arc::clone(&self.runner)).quiet();
+                let mut exp = Experiment::on_runner(name, args, Arc::clone(runner)).quiet();
                 assert!(figures::run_named(name, &mut exp), "validated name `{name}`");
                 exp.into_report().to_json()
             }
-            JobSpec::Run { kernel, seed, insts, mechanism, idle } => {
+            JobSpec::Run { kernel, seed, insts, mechanism, idle, .. } => {
                 let args = Args { insts: *insts, seed: *seed, ..Args::default() };
-                let mut exp = Experiment::on_runner("run", args, Arc::clone(&self.runner)).quiet();
+                let mut exp = Experiment::on_runner("run", args, Arc::clone(runner)).quiet();
                 let cfg = config_with_idle(*mechanism, *idle);
                 let insts = exp.runner.insts_for(*kernel, *seed, *insts);
                 let run = exp.runner.run(*kernel, *seed, insts, &cfg);
@@ -536,7 +588,7 @@ mod tests {
         let s = parse(r#"{"experiment": "fig5", "insts": 5000, "seed": 7}"#).unwrap();
         assert_eq!(
             s,
-            JobSpec::Experiment { name: "fig5".into(), insts: 5_000, seed: 7 }
+            JobSpec::Experiment { name: "fig5".into(), insts: 5_000, seed: 7, check: None }
         );
         let s = parse(r#"{"kernel": "compress", "mechanism": "traditional"}"#).unwrap();
         assert_eq!(
@@ -546,9 +598,13 @@ mod tests {
                 seed: 42,
                 insts: DEFAULT_INSTS,
                 mechanism: ExnMechanism::Traditional,
-                idle: 1
+                idle: 1,
+                check: None
             }
         );
+        let s = parse(r#"{"experiment": "fig5", "check": true}"#).unwrap();
+        assert_eq!(s.check(), Some(true));
+        assert!(s.describe().ends_with("check=on"));
         for bad in [
             r#"{}"#,
             r#"{"experiment": "fig9"}"#,
@@ -558,6 +614,7 @@ mod tests {
             r#"{"experiment": "fig5", "insts": 0}"#,
             r#"{"experiment": "fig5", "insts": 999999999999}"#,
             r#"{"kernel": "gcc", "idle": 9}"#,
+            r#"{"experiment": "fig5", "check": "yes"}"#,
             r#"[1]"#,
         ] {
             assert!(parse(bad).is_err(), "`{bad}` must be rejected");
@@ -572,6 +629,8 @@ mod tests {
         assert_eq!(a.id(), b.id(), "field order cannot matter");
         assert_ne!(a.id(), c.id());
         assert_eq!(a.id().len(), 16);
+        let checked = parse(r#"{"experiment": "fig5", "insts": 5000, "check": true}"#).unwrap();
+        assert_ne!(a.id(), checked.id(), "a checked job is a distinct job");
     }
 
     #[test]
@@ -621,6 +680,28 @@ mod tests {
     }
 
     #[test]
+    fn checked_job_routes_to_the_checked_runner_with_identical_rows() {
+        let svc = Service::new(ServiceConfig { runner_jobs: 2, ..ServiceConfig::default() });
+        let plain = svc.execute(
+            &parse(r#"{"kernel": "compress", "insts": 3000, "mechanism": "multithreaded"}"#)
+                .unwrap(),
+        );
+        let checked = svc.execute(
+            &parse(
+                r#"{"kernel": "compress", "insts": 3000, "mechanism": "multithreaded", "check": true}"#,
+            )
+            .unwrap(),
+        );
+        assert!(svc.checked_runner.stats().unique_runs > 0, "ran on the checked runner");
+        let p = Json::parse(&plain).expect("plain report");
+        let c = Json::parse(&checked).expect("checked report");
+        assert_eq!(p.get("check").and_then(Json::as_bool), Some(false));
+        assert_eq!(c.get("check").and_then(Json::as_bool), Some(true));
+        assert_eq!(p.get("rows"), c.get("rows"), "checking must not perturb rows");
+        assert_eq!(p.get("columns"), c.get("columns"));
+    }
+
+    #[test]
     fn lru_store_evicts_oldest_finished() {
         let svc = Service::new(ServiceConfig { results_cap: 1, ..ServiceConfig::default() });
         let mut inner = svc.inner.lock().unwrap();
@@ -628,7 +709,12 @@ mod tests {
             inner.jobs.insert(
                 id.to_string(),
                 JobRecord {
-                    spec: JobSpec::Experiment { name: "fig5".into(), insts: 1, seed: 1 },
+                    spec: JobSpec::Experiment {
+                        name: "fig5".into(),
+                        insts: 1,
+                        seed: 1,
+                        check: None,
+                    },
                     state: JobState::Done("{}".into()),
                     deadline: Instant::now(),
                 },

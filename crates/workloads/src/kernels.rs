@@ -20,7 +20,7 @@ use smtx_isa::{FReg, Program, ProgramBuilder, Reg};
 use smtx_mem::{AddressSpace, PhysAlloc, PhysMem, PAGE_SIZE};
 
 /// The benchmark suite of paper Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Kernel {
     /// X-windows first-person shooter (mixed int/FP, hot working set).
     Alphadoom,

@@ -15,7 +15,9 @@
 #   idle_skip — fig5 --insts N: tier 2 only;
 #   two_tier — fig5 --insts DETAILED --skip SKIP: tier 1 + tier 2, the
 #              headline (rows differ from the above — the measurement
-#              window moved — but are themselves mode-independent).
+#              window moved — but are themselves mode-independent);
+#   two_tier_check — the same window with --check on, so the pipeline
+#              sanitizer's overhead stays visible (DESIGN.md §11).
 #
 # The recorded speedup compares two_tier against the wall time recorded by
 # the previous PR in BENCH_fig5.json (the perf trajectory), falling back to
@@ -57,6 +59,8 @@ for mode in "--checkpoint off" "--idle-skip off" "--checkpoint off --idle-skip o
 done
 diff "$TMP/ref.txt" <("$NAIVE" --insts 2000 --skip 6000) \
     && echo "ok: naive == runner under fast-forward"
+diff "$TMP/ref.txt" <("$FAST" --insts 2000 --skip 6000 --check on) \
+    && echo "ok: --check is observation-only (identical rows)"
 
 ms() { # ms <out-var> <cmd...>
     local __var=$1; shift
@@ -72,6 +76,8 @@ ms IDLE_MS  "$FAST" --insts "$INSTS" --jobs "$JOBS"
 echo "idle_skip  (--insts $INSTS):                          ${IDLE_MS} ms"
 ms TWO_MS   "$FAST" --insts "$DETAILED" --skip "$SKIP" --jobs "$JOBS" --json "$TMP/fig5.json"
 echo "two_tier   (--insts $DETAILED --skip $SKIP):          ${TWO_MS} ms"
+ms CHECK_MS "$FAST" --insts "$DETAILED" --skip "$SKIP" --jobs "$JOBS" --check on
+echo "two_tier_check (same window, --check on):             ${CHECK_MS} ms"
 
 echo "== timing fig2 and fig7 (pr1 path, then two tier) =="
 ms FIG2_PR1 ./target/release/fig2 --insts "$INSTS" --jobs "$JOBS" --checkpoint off --idle-skip off
@@ -81,11 +87,11 @@ ms FIG7_PR1 ./target/release/fig7 --insts "$INSTS" --jobs "$JOBS" --checkpoint o
 ms FIG7_MS ./target/release/fig7 --insts "$DETAILED" --skip "$SKIP" --jobs "$JOBS" --json "$TMP/fig7.json"
 echo "fig7: pr1 path ${FIG7_PR1} ms, two tier (--insts $DETAILED --skip $SKIP) ${FIG7_MS} ms"
 
-python3 - "$TMP" "$PR1_MS" "$IDLE_MS" "$TWO_MS" "$FIG2_MS" "$FIG7_MS" "$FIG2_PR1" "$FIG7_PR1" <<'PY'
+python3 - "$TMP" "$PR1_MS" "$IDLE_MS" "$TWO_MS" "$FIG2_MS" "$FIG7_MS" "$FIG2_PR1" "$FIG7_PR1" "$CHECK_MS" <<'PY'
 import json, os, sys
 
 tmp = sys.argv[1]
-pr1_ms, idle_ms, two_ms, fig2_ms, fig7_ms, fig2_pr1, fig7_pr1 = map(int, sys.argv[2:9])
+pr1_ms, idle_ms, two_ms, fig2_ms, fig7_ms, fig2_pr1, fig7_pr1, check_ms = map(int, sys.argv[2:10])
 
 def load(path):
     return json.load(open(path)) if os.path.exists(path) else None
@@ -126,7 +132,8 @@ def record(name, report, wall_ms, modes, algorithm, pr1_path_ms):
 
 ALGO = "two-tier engine: functional fast-forward + idle-cycle skipping + wake-list scheduler"
 record("fig5", load(f"{tmp}/fig5.json"), two_ms,
-       {"pr1_path_ms": pr1_ms, "idle_skip_ms": idle_ms, "two_tier_ms": two_ms},
+       {"pr1_path_ms": pr1_ms, "idle_skip_ms": idle_ms, "two_tier_ms": two_ms,
+        "two_tier_check_ms": check_ms},
        ALGO, pr1_ms)
 record("fig2", load(f"{tmp}/fig2.json"), fig2_ms,
        {"pr1_path_ms": fig2_pr1, "two_tier_ms": fig2_ms}, ALGO, fig2_pr1)
