@@ -50,7 +50,8 @@ impl Experiment {
                 .with_skip(args.skip)
                 .with_checkpoint_cache(args.checkpoint)
                 .with_idle_skip(args.idle_skip)
-                .with_check(args.check),
+                .with_check(args.check)
+                .with_trace(args.trace.clone()),
         );
         Experiment::on_runner(name, args, runner)
     }
@@ -66,6 +67,7 @@ impl Experiment {
         args.checkpoint = runner.checkpoint_cache();
         args.idle_skip = runner.idle_skip();
         args.check = runner.check();
+        args.trace = runner.trace_path().map(std::path::Path::to_path_buf);
         let mut report = Report::new(name, args.insts, args.seed, runner.jobs());
         report.skip = args.skip;
         report.checkpoint = args.checkpoint;
@@ -180,6 +182,7 @@ mod tests {
             checkpoint: false,
             idle_skip: false,
             check: true,
+            trace: Some("probe.trace".into()),
             ..Args::default()
         };
         let exp = Experiment::with_args("probe", args);
@@ -189,5 +192,11 @@ mod tests {
         assert!(!exp.report.idle_skip);
         assert!(exp.report.check);
         assert!(exp.runner.check());
+        assert_eq!(
+            exp.runner.trace_path(),
+            Some(std::path::Path::new("probe.trace")),
+            "--trace threads through to the runner"
+        );
+        assert_eq!(exp.args.trace.as_deref(), Some(std::path::Path::new("probe.trace")));
     }
 }

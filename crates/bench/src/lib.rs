@@ -21,8 +21,9 @@
 //! | `table2` | kernel miss densities vs. the paper's |
 //!
 //! Every binary accepts `--insts N` (per-thread instruction budget, default
-//! 300k), `--seed N`, `--jobs N` (worker-pool size, default: all cores) and
-//! `--json PATH` (machine-readable report), and prints paper-style rows.
+//! 300k), `--seed N`, `--jobs N` (worker-pool size, default: all cores),
+//! `--json PATH` (machine-readable report) and `--trace PATH` (cycle-level
+//! binary event trace, see `smtx-trace`), and prints paper-style rows.
 //!
 //! Execution goes through the [`runner`] module: an experiment expands into
 //! a flat list of independent simulation jobs, deduplicated by
@@ -261,6 +262,10 @@ pub struct Args {
     pub check: bool,
     /// Machine-readable report destination (`--json PATH`).
     pub json: Option<std::path::PathBuf>,
+    /// Binary trace capture destination (`--trace PATH`): every uniquely
+    /// computed simulation appends its cycle-level event segment (see
+    /// `smtx-trace`). Observation-only — rows stay bit-identical.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl Default for Args {
@@ -274,13 +279,14 @@ impl Default for Args {
             idle_skip: true,
             check: false,
             json: None,
+            trace: None,
         }
     }
 }
 
 /// Parses the experiment flags from argv: `--insts N`, `--seed N`,
 /// `--jobs N`, `--skip N`, `--checkpoint on|off`, `--idle-skip on|off`,
-/// `--check on|off` and `--json PATH`. Unknown or malformed arguments abort with a usage
+/// `--check on|off`, `--json PATH` and `--trace PATH`. Unknown or malformed arguments abort with a usage
 /// message — a silently ignored typo (`--inst 500000`) would otherwise run
 /// the full default-budget experiment and report it as the requested one.
 #[must_use]
@@ -291,7 +297,8 @@ pub fn parse_args() -> Args {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: <experiment> [--insts N] [--seed N] [--jobs N] [--skip N] \
-                 [--checkpoint on|off] [--idle-skip on|off] [--check on|off] [--json PATH]"
+                 [--checkpoint on|off] [--idle-skip on|off] [--check on|off] [--json PATH] \
+                 [--trace PATH]"
             );
             std::process::exit(2);
         }
@@ -338,6 +345,9 @@ pub fn parse_arg_list<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, S
             }
             "--json" => {
                 args.json = Some(value_for("--json")?.into());
+            }
+            "--trace" => {
+                args.trace = Some(value_for("--trace")?.into());
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -397,6 +407,7 @@ mod tests {
         let argv = [
             "--insts", "5000", "--seed", "7", "--jobs", "3", "--skip", "20000",
             "--checkpoint", "off", "--idle-skip", "off", "--check", "on", "--json", "out.json",
+            "--trace", "out.bin",
         ]
         .iter()
         .map(|s| s.to_string());
@@ -409,6 +420,7 @@ mod tests {
         assert!(!args.idle_skip);
         assert!(args.check);
         assert_eq!(args.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert_eq!(args.trace.as_deref(), Some(std::path::Path::new("out.bin")));
     }
 
     #[test]

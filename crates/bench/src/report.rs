@@ -137,11 +137,34 @@ impl Report {
 #[must_use]
 pub fn runner_stats_json(stats: &RunnerStats, indent: usize) -> String {
     let pad = " ".repeat(indent);
-    format!(
+    let mut s = format!(
         "{pad}\"unique_runs\": {},\n{pad}\"cache_hits\": {},\n\
          {pad}\"checkpoint_hits\": {},\n{pad}\"sim_cycles\": {},\n",
         stats.unique_runs, stats.cache_hits, stats.checkpoint_hits, stats.sim_cycles
-    )
+    );
+    for (name, buckets) in runner_hist_fields(stats) {
+        s.push_str(&format!("{pad}\"{name}\": {},\n", hist_json(&buckets)));
+    }
+    s
+}
+
+/// The `(name, buckets)` pairs of the per-stage wall-time histograms, in
+/// serialized order (bucket upper bounds in
+/// [`crate::runner::HIST_BOUNDS_MS`], last bucket unbounded). The plaintext
+/// `/metrics` endpoint renders these as cumulative `_le_` counters, so it
+/// exposes exactly the histograms [`runner_stats_json`] writes.
+#[must_use]
+pub fn runner_hist_fields(stats: &RunnerStats) -> [(&'static str, [u64; 8]); 3] {
+    [
+        ("checkpoint_ms_hist", stats.checkpoint_ms_hist),
+        ("sim_ms_hist", stats.sim_ms_hist),
+        ("ref_ms_hist", stats.ref_ms_hist),
+    ]
+}
+
+fn hist_json(buckets: &[u64; 8]) -> String {
+    let cells = buckets.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+    format!("[{cells}]")
 }
 
 /// The `(name, value)` pairs of the [`RunnerStats`] counters, in serialized
@@ -205,12 +228,21 @@ mod tests {
             cache_hits: 22,
             checkpoint_hits: 33,
             sim_cycles: 44,
+            checkpoint_ms_hist: [1, 2, 3, 4, 5, 6, 7, 8],
+            sim_ms_hist: [8, 7, 6, 5, 4, 3, 2, 1],
+            ref_ms_hist: [0, 0, 9, 0, 0, 0, 0, 1],
         };
         let json = runner_stats_json(&stats, 2);
         for (name, value) in runner_stats_fields(&stats) {
             assert!(
                 json.contains(&format!("\"{name}\": {value}")),
                 "field {name} missing from {json}"
+            );
+        }
+        for (name, buckets) in runner_hist_fields(&stats) {
+            assert!(
+                json.contains(&format!("\"{name}\": {}", hist_json(&buckets))),
+                "histogram {name} missing from {json}"
             );
         }
         let mut r = Report::new("x", 1, 2, 3);

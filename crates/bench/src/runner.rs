@@ -15,10 +15,15 @@
 //! the cache — `tests/runner_determinism.rs` holds that gate.
 
 use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use smtx_core::{CheckConfig, Checkpoint, ExnMechanism, Machine, MachineConfig};
+use smtx_core::{CheckConfig, Checkpoint, ExnMechanism, Machine, MachineConfig, TraceEvent, VecSink};
+use smtx_trace::codec;
 use smtx_workloads::{kernel_reference, load_kernel, Kernel};
 
 use crate::{
@@ -125,6 +130,11 @@ enum CkKey {
     Mix([Kernel; 3], u64, u64),
 }
 
+/// Upper bounds (milliseconds) of the first seven buckets of every
+/// per-stage wall-time histogram in [`RunnerStats`]; the eighth bucket is
+/// unbounded.
+pub const HIST_BOUNDS_MS: [u64; 7] = [1, 4, 16, 64, 256, 1024, 4096];
+
 /// Cache-effectiveness counters (all monotonic).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunnerStats {
@@ -136,6 +146,13 @@ pub struct RunnerStats {
     pub checkpoint_hits: u64,
     /// Machine cycles simulated across all unique runs.
     pub sim_cycles: u64,
+    /// Wall-time histogram of checkpoint builds (bucket upper bounds in
+    /// [`HIST_BOUNDS_MS`], last bucket unbounded).
+    pub checkpoint_ms_hist: [u64; 8],
+    /// Wall-time histogram of detailed-machine simulations.
+    pub sim_ms_hist: [u64; 8],
+    /// Wall-time histogram of reference-interpreter runs.
+    pub ref_ms_hist: [u64; 8],
 }
 
 /// The shared executor: a job cache plus a scoped-thread worker pool.
@@ -171,6 +188,35 @@ pub struct Runner {
     cache_hits: AtomicU64,
     ck_hits: AtomicU64,
     sim_cycles: AtomicU64,
+    /// Binary trace capture (`--trace PATH`): every uniquely computed run
+    /// appends one `RunStart`-prefixed event segment. Observation-only —
+    /// the tracer is not part of [`MachineConfig::digest`] and the rows
+    /// stay bit-identical (CI diffs them).
+    trace_path: Option<PathBuf>,
+    /// The trace file, opened lazily (magic written once) on the first
+    /// segment; one segment is appended per completed run, atomically
+    /// under this lock, so parallel workers interleave whole segments.
+    trace_file: Mutex<Option<BufWriter<File>>>,
+    ck_ms: [AtomicU64; 8],
+    sim_ms: [AtomicU64; 8],
+    ref_ms: [AtomicU64; 8],
+}
+
+/// Buckets `ms` into a [`HIST_BOUNDS_MS`]-shaped histogram.
+fn record_ms(hist: &[AtomicU64; 8], started: Instant) {
+    let ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let idx = HIST_BOUNDS_MS.iter().position(|&b| ms <= b).unwrap_or(HIST_BOUNDS_MS.len());
+    hist[idx].fetch_add(1, Ordering::Relaxed);
+}
+
+fn load_hist(hist: &[AtomicU64; 8]) -> [u64; 8] {
+    std::array::from_fn(|i| hist[i].load(Ordering::Relaxed))
+}
+
+/// Index of `kernel` in [`Kernel::ALL`], the `RunStart` marker's kernel
+/// code (`u64::MAX` tags a Fig. 7 mix segment).
+fn kernel_code(kernel: Kernel) -> u64 {
+    Kernel::ALL.iter().position(|&k| k == kernel).map_or(u64::MAX, |i| i as u64)
 }
 
 impl Runner {
@@ -199,6 +245,11 @@ impl Runner {
             cache_hits: AtomicU64::new(0),
             ck_hits: AtomicU64::new(0),
             sim_cycles: AtomicU64::new(0),
+            trace_path: None,
+            trace_file: Mutex::new(None),
+            ck_ms: std::array::from_fn(|_| AtomicU64::new(0)),
+            sim_ms: std::array::from_fn(|_| AtomicU64::new(0)),
+            ref_ms: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -249,6 +300,23 @@ impl Runner {
         self.idle_skip
     }
 
+    /// Sets (or clears) the binary trace capture destination (`--trace
+    /// PATH`). Every uniquely computed simulation appends one
+    /// `RunStart`-prefixed event segment; cache hits are not re-traced, and
+    /// worker scheduling makes the cross-segment order nondeterministic —
+    /// the `smtx-trace` analyzer is per-segment, so that never matters.
+    #[must_use]
+    pub fn with_trace(mut self, path: Option<PathBuf>) -> Runner {
+        self.trace_path = path;
+        self
+    }
+
+    /// The configured trace capture destination, if any.
+    #[must_use]
+    pub fn trace_path(&self) -> Option<&Path> {
+        self.trace_path.as_deref()
+    }
+
     /// Enables or disables the pipeline sanitizer (`--check on|off`).
     #[must_use]
     pub fn with_check(mut self, on: bool) -> Runner {
@@ -270,7 +338,41 @@ impl Runner {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             checkpoint_hits: self.ck_hits.load(Ordering::Relaxed),
             sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
+            checkpoint_ms_hist: load_hist(&self.ck_ms),
+            sim_ms_hist: load_hist(&self.sim_ms),
+            ref_ms_hist: load_hist(&self.ref_ms),
         }
+    }
+
+    /// Appends one completed run's event segment to the trace file
+    /// (created lazily, magic first, on the first segment). No-op when
+    /// tracing is off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace file cannot be written — a requested trace that
+    /// silently vanishes would be worse than a dead experiment.
+    fn append_trace(&self, marker: TraceEvent, m: &mut Machine) {
+        let Some(path) = &self.trace_path else { return };
+        let mut events = m.take_tracer().expect("tracer was attached").take_events();
+        events.insert(0, marker);
+        let body = codec::encode_body(&events);
+        let mut guard = self.trace_file.lock().expect("trace file");
+        let writer = match guard.as_mut() {
+            Some(w) => w,
+            None => {
+                let file = File::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create trace {}: {e}", path.display()));
+                let mut w = BufWriter::new(file);
+                w.write_all(&codec::MAGIC)
+                    .unwrap_or_else(|e| panic!("cannot write trace {}: {e}", path.display()));
+                guard.insert(w)
+            }
+        };
+        writer
+            .write_all(&body)
+            .and_then(|()| writer.flush())
+            .unwrap_or_else(|e| panic!("cannot write trace {}: {e}", path.display()));
     }
 
     /// Executes `jobs` across the worker pool, deduplicating within the
@@ -372,7 +474,9 @@ impl Runner {
         }
         // Built outside the lock; concurrent duplicates (callers racing
         // past prefetch) waste work but cache a deterministic value.
+        let t0 = Instant::now();
         let ck = Arc::new(build());
+        record_ms(&self.ck_ms, t0);
         if !self.use_checkpoints {
             return ck;
         }
@@ -447,6 +551,9 @@ impl Runner {
         if self.check {
             m.set_check(Some(CheckConfig::default()));
         }
+        if self.trace_path.is_some() {
+            m.set_tracer(Some(Box::new(VecSink::default())));
+        }
         if self.skip == 0 && !self.use_checkpoints {
             load_kernel(&mut m, 0, kernel, seed);
         } else {
@@ -454,7 +561,18 @@ impl Runner {
             m.restore(&ck);
         }
         m.set_budget(0, insts);
+        let t0 = Instant::now();
         m.run(cycle_cap(insts));
+        record_ms(&self.sim_ms, t0);
+        self.append_trace(
+            TraceEvent::RunStart {
+                kernel: kernel_code(kernel),
+                seed,
+                insts,
+                digest: key.config_digest,
+            },
+            &mut m,
+        );
         self.assert_check_clean(&m, &format!("{} seed {seed}", kernel.name()));
         let stats = m.stats().clone();
         assert_eq!(stats.retired(0), insts, "{} did not finish", kernel.name());
@@ -475,6 +593,56 @@ impl Runner {
             .clone()
     }
 
+    /// Runs one kernel point with an in-memory tracer attached and returns
+    /// the encoded bytes of a complete single-segment trace file (magic,
+    /// then a `RunStart`-prefixed event stream). Bypasses the result cache
+    /// on purpose — a memoized run has no events left to give — but shares
+    /// the checkpoint cache, and the simulator is deterministic, so the
+    /// stats such a run produces are identical to the cached ones. This is
+    /// what serves `smtxd`'s per-job `"trace": true` capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine fails to retire `insts` within the cycle cap.
+    #[must_use]
+    pub fn run_traced(
+        &self,
+        kernel: Kernel,
+        seed: u64,
+        insts: u64,
+        config: &MachineConfig,
+    ) -> Vec<u8> {
+        let mut m = Machine::new(config.clone());
+        m.set_idle_skip(self.idle_skip);
+        if self.check {
+            m.set_check(Some(CheckConfig::default()));
+        }
+        m.set_tracer(Some(Box::new(VecSink::default())));
+        if self.skip == 0 && !self.use_checkpoints {
+            load_kernel(&mut m, 0, kernel, seed);
+        } else {
+            let ck = self.checkpoint_single(kernel, seed);
+            m.restore(&ck);
+        }
+        m.set_budget(0, insts);
+        let t0 = Instant::now();
+        m.run(cycle_cap(insts));
+        record_ms(&self.sim_ms, t0);
+        self.assert_check_clean(&m, &format!("{} seed {seed} (traced)", kernel.name()));
+        assert_eq!(m.stats().retired(0), insts, "{} did not finish", kernel.name());
+        let mut events = m.take_tracer().expect("tracer attached above").take_events();
+        events.insert(
+            0,
+            TraceEvent::RunStart {
+                kernel: kernel_code(kernel),
+                seed,
+                insts,
+                digest: config.digest(),
+            },
+        );
+        codec::encode(&events)
+    }
+
     /// Memoized [`crate::arch_misses`] (reference-interpreter DTLB misses).
     pub fn arch_misses(&self, kernel: Kernel, seed: u64, insts: u64) -> u64 {
         let key = (kernel, seed, insts);
@@ -483,14 +651,21 @@ impl Runner {
             return hit;
         }
         let misses = if self.skip == 0 {
+            let t0 = Instant::now();
             let mut world = kernel_reference(kernel, seed);
             world.run(insts);
-            world.interp.dtlb_misses()
+            let misses = world.interp.dtlb_misses();
+            record_ms(&self.ref_ms, t0);
+            misses
         } else {
             // Misses inside the measurement window: continue the functional
             // model from the checkpoint with a cold DTLB — matching the
             // restored machine's cold microarchitectural TLB.
-            self.checkpoint_single(kernel, seed).arch_misses_in_window(0, insts)
+            let ck = self.checkpoint_single(kernel, seed);
+            let t0 = Instant::now();
+            let misses = ck.arch_misses_in_window(0, insts);
+            record_ms(&self.ref_ms, t0);
+            misses
         };
         self.unique_runs.fetch_add(1, Ordering::Relaxed);
         *self
@@ -536,6 +711,9 @@ impl Runner {
         if self.check {
             m.set_check(Some(CheckConfig::default()));
         }
+        if self.trace_path.is_some() {
+            m.set_tracer(Some(Box::new(VecSink::default())));
+        }
         if self.skip == 0 && !self.use_checkpoints {
             for (tid, &k) in mix.iter().enumerate() {
                 load_kernel(&mut m, tid, k, seed + tid as u64);
@@ -547,7 +725,14 @@ impl Runner {
         for tid in 0..3 {
             m.set_budget(tid, insts);
         }
+        let t0 = Instant::now();
         m.run(cycle_cap(insts * 3));
+        record_ms(&self.sim_ms, t0);
+        // Mix segments carry no single kernel; `u64::MAX` tags them.
+        self.append_trace(
+            TraceEvent::RunStart { kernel: u64::MAX, seed, insts, digest: key.config_digest },
+            &mut m,
+        );
         self.assert_check_clean(&m, &format!("{mix:?} seed {seed}"));
         for tid in 0..3 {
             assert_eq!(m.stats().retired(tid), insts, "{mix:?} thread {tid} unfinished");
@@ -650,6 +835,40 @@ mod tests {
         let checked = Runner::new(1).with_check(true).run(Kernel::Compress, 42, 5_000, &cfg);
         assert_eq!(plain.stats, checked.stats, "--check must be observation-only");
         assert_eq!(plain.cycles, checked.cycles);
+    }
+
+    #[test]
+    fn traced_runs_are_observation_only_and_decodable() {
+        let cfg = config_with_idle(ExnMechanism::Multithreaded, 1);
+        let path = std::env::temp_dir()
+            .join(format!("smtx-runner-trace-{}.bin", std::process::id()));
+        let traced = Runner::new(1).with_trace(Some(path.clone()));
+        let a = traced.run(Kernel::Compress, 42, 3_000, &cfg);
+        let b = Runner::new(1).run(Kernel::Compress, 42, 3_000, &cfg);
+        assert_eq!(a.stats, b.stats, "tracing must not change results");
+        let first = std::fs::read(&path).expect("trace written");
+        let events = codec::decode(&first).expect("trace decodes");
+        assert!(
+            matches!(events.first(), Some(TraceEvent::RunStart { kernel, .. }) if *kernel != u64::MAX),
+            "segment opens with a kernel RunStart marker"
+        );
+        assert!(matches!(events.last(), Some(TraceEvent::End { .. })));
+        // A cache hit is not re-traced.
+        let _ = traced.run(Kernel::Compress, 42, 3_000, &cfg);
+        let second = std::fs::read(&path).expect("trace still there");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(first.len(), second.len(), "cache hits append nothing");
+    }
+
+    #[test]
+    fn stage_histograms_count_unique_work() {
+        let runner = Runner::new(1).with_skip(2_000);
+        let cfg = config_with_idle(ExnMechanism::Traditional, 1);
+        let _ = runner.run(Kernel::Compress, 42, 3_000, &cfg);
+        let s = runner.stats();
+        assert_eq!(s.sim_ms_hist.iter().sum::<u64>(), 1, "one detailed simulation");
+        assert_eq!(s.checkpoint_ms_hist.iter().sum::<u64>(), 1, "one checkpoint build");
+        assert_eq!(s.ref_ms_hist.iter().sum::<u64>(), 1, "one reference window");
     }
 
     #[test]

@@ -43,11 +43,22 @@ pub const RULE_NAMES: [&str; 5] = [
 ];
 
 /// Result-affecting paths where unordered-container iteration is banned.
-const UNORDERED_SCOPE: [&str; 4] =
-    ["crates/core/src/", "crates/mem/src/", "crates/bench/src/", "crates/serve/src/"];
-/// Simulated-time crates where wall-clock types are banned.
-const WALLCLOCK_SCOPE: [&str; 4] =
-    ["crates/core/src/", "crates/isa/src/", "crates/mem/src/", "crates/branch/src/"];
+const UNORDERED_SCOPE: [&str; 5] = [
+    "crates/core/src/",
+    "crates/mem/src/",
+    "crates/bench/src/",
+    "crates/serve/src/",
+    "crates/trace/src/",
+];
+/// Simulated-time crates where wall-clock types are banned. The trace
+/// crate is in scope: analysis must attribute *simulated* cycles only.
+const WALLCLOCK_SCOPE: [&str; 5] = [
+    "crates/core/src/",
+    "crates/isa/src/",
+    "crates/mem/src/",
+    "crates/branch/src/",
+    "crates/trace/src/",
+];
 /// Cycle-model state and statistics: integer-exact only.
 const FLOAT_SCOPE: [&str; 4] = [
     "crates/core/src/machine/",

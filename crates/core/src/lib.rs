@@ -52,6 +52,7 @@ mod machine;
 mod refmodel;
 mod stats;
 mod thread;
+pub mod trace;
 
 pub use check::{CheckConfig, CheckViolation};
 pub use checkpoint::{Checkpoint, ThreadCheckpoint};
@@ -60,3 +61,4 @@ pub use machine::{ActiveHandler, HandlerKind, Machine, RetireEvent};
 pub use refmodel::{Interpreter, RefError, RunSummary};
 pub use stats::{Stats, ThreadStats};
 pub use thread::{ThreadContext, ThreadState};
+pub use trace::{RaiseKind, RevertWhy, SquashCause, TraceEvent, TraceSink, VecSink};

@@ -9,6 +9,7 @@ use crate::config::ExnMechanism;
 use crate::exec;
 use crate::machine::Machine;
 use crate::thread::ThreadState;
+use crate::trace::{SquashCause, TraceEvent};
 
 /// Per-cycle execution-resource budget (paper Table 1 pools).
 struct FuBudget {
@@ -202,6 +203,9 @@ impl Machine {
             // Unused operand slots hold Value(0), so these reads are total.
             (i.tid, i.inst.op, i.pc, i.pal, i.src_value(0), i.src_value(1), i.inst.imm)
         };
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::Issue { cycle: now, tid: tid as u64, seq });
+        }
 
         use Op::*;
         match op {
@@ -396,6 +400,9 @@ impl Machine {
         let result = inst.result;
         let pred = inst.pred;
         let actual_next = inst.actual_next;
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::Writeback { cycle: now, tid: tid as u64, seq });
+        }
 
         // Wake consumers; one whose last operand just resolved enters the
         // issue scheduler's wake-up list.
@@ -428,6 +435,13 @@ impl Machine {
                     t.fetch_stalled_until = now + 1;
                     t.redirect_wait = None;
                     t.last_ifetch_line = None;
+                    if self.tracer.is_some() {
+                        self.emit(TraceEvent::HandlerReturn {
+                            cycle: now,
+                            tid: tid as u64,
+                            pc: actual_next,
+                        });
+                    }
                 }
                 // Handler threads simply stop; retirement splices them.
             }
@@ -473,6 +487,15 @@ impl Machine {
         // the *branch's* privilege mode — a pre-trap user branch resolving
         // after a trap redirect must pull the thread back out of PAL mode
         // (the trap it squashed never happened on the correct path).
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::Squash {
+                cycle: now,
+                tid: tid as u64,
+                from_seq: seq + 1,
+                cause: SquashCause::Mispredict,
+                resume_pc: actual_next,
+            });
+        }
         self.squash_thread_from(tid, seq + 1);
         let t = &mut self.threads[tid];
         t.bu.restore(pi.checkpoint);
@@ -576,6 +599,15 @@ impl Machine {
         let inst = self.window.remove(&seq).expect("head in window");
         if let Some(log) = &mut self.retire_log {
             log.push(crate::machine::RetireEvent { tid, seq, pc: inst.pc, pal: inst.pal });
+        }
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::Retire {
+                cycle: now,
+                tid: tid as u64,
+                seq,
+                pc: inst.pc,
+                pal: inst.pal,
+            });
         }
         if self.threads[tid].is_handler() {
             self.handler_insts_in_window -= 1;

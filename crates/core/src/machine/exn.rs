@@ -12,6 +12,7 @@ use crate::config::ExnMechanism;
 use crate::dyninst::FrontEndInst;
 use crate::machine::{ActiveHandler, HandlerKind, Machine, Walk};
 use crate::thread::ThreadState;
+use crate::trace::{RaiseKind, RevertWhy, SquashCause, TraceEvent};
 
 impl Machine {
     /// Handles a data-TLB miss detected at execute time (possibly on a
@@ -44,22 +45,69 @@ impl Machine {
                 self.handlers[idx].exc_seq = seq;
                 self.window.get_mut(&seq).expect("present").handler_tid = Some(handler_tid);
                 self.stats.relinks += 1;
+                if self.tracer.is_some() {
+                    self.emit(TraceEvent::Raise {
+                        cycle: now,
+                        tid: tid as u64,
+                        seq,
+                        kind: RaiseKind::Relink,
+                        aux: handler_tid as u64,
+                    });
+                }
             } else {
                 self.stats.secondary_misses += 1;
+                if self.tracer.is_some() {
+                    self.emit(TraceEvent::Raise {
+                        cycle: now,
+                        tid: tid as u64,
+                        seq,
+                        kind: RaiseKind::Secondary,
+                        aux: vpn,
+                    });
+                }
             }
             self.park_on_fill(seq, key);
             return;
         }
         if self.walks.iter().any(|w| w.key == key) {
             self.stats.secondary_misses += 1;
+            if self.tracer.is_some() {
+                self.emit(TraceEvent::Raise {
+                    cycle: now,
+                    tid: tid as u64,
+                    seq,
+                    kind: RaiseKind::Secondary,
+                    aux: vpn,
+                });
+            }
             self.park_on_fill(seq, key);
             return;
         }
 
         let pc = self.window[&seq].pc;
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::Raise {
+                cycle: now,
+                tid: tid as u64,
+                seq,
+                kind: RaiseKind::Primary,
+                aux: vpn,
+            });
+        }
         match self.config.mechanism {
             ExnMechanism::PerfectTlb => unreachable!("perfect TLB cannot miss"),
-            ExnMechanism::Traditional => self.trap(tid, seq, va, pc, now),
+            ExnMechanism::Traditional => {
+                if self.tracer.is_some() {
+                    self.emit(TraceEvent::Revert {
+                        cycle: now,
+                        tid: tid as u64,
+                        seq,
+                        pc,
+                        why: RevertWhy::Traditional,
+                    });
+                }
+                self.trap(tid, seq, va, pc, now);
+            }
             ExnMechanism::Multithreaded | ExnMechanism::QuickStart => {
                 self.spawn_handler(tid, seq, key, va, pc, now);
             }
@@ -77,6 +125,15 @@ impl Machine {
     pub(crate) fn trap(&mut self, tid: usize, seq: u64, va: u64, pc: u64, now: u64) {
         if !matches!(self.threads[tid].state, ThreadState::Run) {
             return;
+        }
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::Squash {
+                cycle: now,
+                tid: tid as u64,
+                from_seq: seq,
+                cause: SquashCause::Trap,
+                resume_pc: self.pal_base,
+            });
         }
         let cp = self.squash_thread_from(tid, seq);
         if let Some(pi) = cp {
@@ -117,6 +174,15 @@ impl Machine {
             // No idle context: revert to the traditional mechanism
             // (paper §4.5 advocates exactly this over stalling).
             self.stats.reverted_no_thread += 1;
+            if self.tracer.is_some() {
+                self.emit(TraceEvent::Revert {
+                    cycle: now,
+                    tid: master as u64,
+                    seq,
+                    pc,
+                    why: RevertWhy::NoIdleContext,
+                });
+            }
             self.trap(master, seq, va, pc, now);
             return;
         };
@@ -151,6 +217,14 @@ impl Machine {
             inserted: 0,
             kind: HandlerKind::TlbFill,
         });
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::SpliceStart {
+                cycle: now,
+                handler_tid: handler_tid as u64,
+                master: master as u64,
+                exc_seq: seq,
+            });
+        }
         self.window.get_mut(&seq).expect("present").handler_tid = Some(handler_tid);
         self.park_on_fill(seq, key);
         if self.checker.is_some() {
@@ -216,6 +290,14 @@ impl Machine {
             inserted: 0,
             kind: HandlerKind::Emulate,
         });
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::SpliceStart {
+                cycle: now,
+                handler_tid: handler_tid as u64,
+                master: master as u64,
+                exc_seq: seq,
+            });
+        }
         self.window.get_mut(&seq).expect("present").handler_tid = Some(handler_tid);
         self.park_on_fill(seq, key);
         if self.checker.is_some() {
@@ -301,6 +383,15 @@ impl Machine {
             let (pred, next_pc, stop) = self.predict_next(handler_tid, pc, &inst, seq);
             out.push(FrontEndInst { seq, pc, inst, pal: true, pred, ready_at: 0 });
             self.stats.fetched += 1;
+            if self.tracer.is_some() {
+                self.emit(TraceEvent::Fetch {
+                    cycle: self.cycle,
+                    tid: handler_tid as u64,
+                    seq,
+                    pc,
+                    pal: true,
+                });
+            }
             self.threads[handler_tid].fetch_pc = next_pc;
             if stop {
                 break;
@@ -355,6 +446,15 @@ impl Machine {
                         let i = &self.window[&w.fault_seq];
                         (i.mem_vaddr.unwrap_or(w.key.1 << PAGE_SHIFT), i.pc)
                     };
+                    if self.tracer.is_some() {
+                        self.emit(TraceEvent::Revert {
+                            cycle: now,
+                            tid: w.fault_tid as u64,
+                            seq: w.fault_seq,
+                            pc,
+                            why: RevertWhy::PageFaultWalk,
+                        });
+                    }
                     self.trap(w.fault_tid, w.fault_seq, va, pc, now);
                 }
                 self.wake_waiters(w.key); // survivors re-raise their miss
@@ -376,6 +476,15 @@ impl Machine {
                 let i = &self.window[&rec.exc_seq];
                 (i.mem_vaddr.unwrap_or(rec.key.1 << PAGE_SHIFT), i.pc)
             };
+            if self.tracer.is_some() {
+                self.emit(TraceEvent::Revert {
+                    cycle: now,
+                    tid: rec.master as u64,
+                    seq: rec.exc_seq,
+                    pc,
+                    why: RevertWhy::HardException,
+                });
+            }
             self.trap(rec.master, rec.exc_seq, va, pc, now);
         }
     }

@@ -5,6 +5,7 @@ use crate::dyninst::{operands, DynInst, FrontEndInst, PredInfo, SrcState};
 use crate::exec;
 use crate::machine::Machine;
 use crate::thread::ThreadState;
+use crate::trace::{SquashCause, TraceEvent};
 
 impl Machine {
     // ================================================================
@@ -122,6 +123,15 @@ impl Machine {
                 ready_at: now + self.config.fetch_latency,
             });
             self.stats.fetched += 1;
+            if self.tracer.is_some() {
+                self.emit(TraceEvent::Fetch {
+                    cycle: now,
+                    tid: tid as u64,
+                    seq,
+                    pc,
+                    pal,
+                });
+            }
             self.threads[tid].fetch_pc = next_pc;
             if stop {
                 break;
@@ -284,7 +294,7 @@ impl Machine {
 
     /// Window-insertion admission control, including the paper's §4.4
     /// reservation scheme and deadlock-avoidance squash.
-    fn may_insert(&mut self, tid: usize, _now: u64) -> bool {
+    fn may_insert(&mut self, tid: usize, now: u64) -> bool {
         let cap = self.config.window;
         if self.threads[tid].is_handler() {
             if self.config.limits.free_window || self.occupancy() < cap {
@@ -303,6 +313,15 @@ impl Machine {
                 let v = &self.window[&victim];
                 (v.pc, v.pal)
             };
+            if self.tracer.is_some() {
+                self.emit(TraceEvent::Squash {
+                    cycle: now,
+                    tid: master as u64,
+                    from_seq: victim,
+                    cause: SquashCause::Deadlock,
+                    resume_pc: victim_pc,
+                });
+            }
             let cp = self.squash_thread_from(master, victim);
             if let Some(pi) = cp {
                 self.threads[master].bu.restore(pi.checkpoint);
@@ -384,6 +403,13 @@ impl Machine {
             self.pending_issue.push(std::cmp::Reverse((earliest_issue, fe.seq)));
         }
         self.window.insert(fe.seq, di);
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::Rename {
+                cycle: self.cycle,
+                tid: tid as u64,
+                seq: fe.seq,
+            });
+        }
         // Sanitizer hook: admission control must have respected the §4.4
         // capacity and reservation rules for this insertion.
         if self.checker.is_some() {

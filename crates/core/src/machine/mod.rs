@@ -24,6 +24,7 @@ use crate::config::MachineConfig;
 use crate::dyninst::{DynInst, PredInfo};
 use crate::stats::Stats;
 use crate::thread::{ThreadContext, ThreadState};
+use crate::trace::{SquashCause, TraceEvent, TraceSink};
 
 /// What an active handler is servicing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +150,12 @@ pub struct Machine {
     /// of [`MachineConfig`]: checking is observation-only and must not
     /// perturb config digests or memoized run keys.
     pub(crate) checker: Option<Checker>,
+    /// The attached event-trace sink (none by default; see
+    /// [`Machine::set_tracer`]). Like `checker` and `idle_skip`,
+    /// deliberately *not* part of [`MachineConfig`]: tracing is
+    /// observation-only and must not perturb config digests, memoized run
+    /// keys, or simulated behavior.
+    pub(crate) tracer: Option<Box<dyn TraceSink>>,
 }
 
 /// One entry of the optional retirement trace (see
@@ -204,6 +211,29 @@ impl Machine {
             pending_issue: BinaryHeap::new(),
             scratch_order: Vec::new(),
             checker: None,
+            tracer: None,
+        }
+    }
+
+    /// Attaches (or detaches, with `None`) a trace sink. Every pipeline
+    /// stage and exception-episode transition then emits a cycle-stamped
+    /// [`TraceEvent`]; with no sink attached every emission site is a
+    /// single no-op branch, so traced and untraced runs are bit-identical.
+    pub fn set_tracer(&mut self, sink: Option<Box<dyn TraceSink>>) {
+        self.tracer = sink;
+    }
+
+    /// Detaches and returns the trace sink, if one is attached.
+    pub fn take_tracer(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.take()
+    }
+
+    /// Delivers `ev` to the attached sink, if any. Call sites on hot paths
+    /// guard with `tracer.is_some()` before building the event.
+    #[inline]
+    pub(crate) fn emit(&mut self, ev: TraceEvent) {
+        if let Some(sink) = &mut self.tracer {
+            sink.event(&ev);
         }
     }
 
@@ -469,6 +499,9 @@ impl Machine {
             self.step_cycle();
         }
         self.stats.cycles = self.cycle;
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::End { cycle: self.cycle });
+        }
         &self.stats
     }
 
@@ -713,6 +746,15 @@ impl Machine {
             return;
         };
         let rec = self.handlers.remove(pos);
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::SpliceEnd {
+                cycle: self.cycle,
+                handler_tid: rec.handler_tid as u64,
+                master: rec.master as u64,
+                exc_seq: rec.exc_seq,
+                committed: commit,
+            });
+        }
         if commit {
             if rec.kind == HandlerKind::TlbFill {
                 self.dtlb.commit(rec.tag);
@@ -756,6 +798,15 @@ impl Machine {
     /// Freezes thread `tid`: squashes its in-flight work and marks it
     /// halted.
     pub(crate) fn freeze_thread(&mut self, tid: usize, now: u64) {
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::Squash {
+                cycle: now,
+                tid: tid as u64,
+                from_seq: 0,
+                cause: SquashCause::Freeze,
+                resume_pc: 0,
+            });
+        }
         self.squash_thread_from(tid, 0);
         let t = &mut self.threads[tid];
         t.state = ThreadState::Halted;

@@ -22,8 +22,10 @@ use smtx_serve::json::{quote, Json};
 
 const USAGE: &str = "usage: smtx-client [--addr HOST:PORT] <command>
   submit (--experiment NAME | --kernel NAME [--mechanism M] [--idle N])
-         [--insts N] [--seed N] [--check on|off] [--deadline-ms N]
-         [--wait] [--out PATH]
+         [--insts N] [--seed N] [--check on|off] [--trace on|off]
+         [--deadline-ms N] [--wait] [--out PATH]
+         (--trace on captures a binary event trace, kernel runs only;
+          download it from GET /v1/jobs/<id>/trace once the job is done)
   status <id>
   result <id> [--out PATH]
   metrics
@@ -68,6 +70,7 @@ struct Submit {
     insts: Option<u64>,
     seed: Option<u64>,
     check: Option<bool>,
+    trace: Option<bool>,
     deadline_ms: Option<u64>,
     wait: bool,
     out: Option<String>,
@@ -82,6 +85,7 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> Submit {
         insts: None,
         seed: None,
         check: None,
+        trace: None,
         deadline_ms: None,
         wait: false,
         out: None,
@@ -105,6 +109,13 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> Submit {
                     "on" => true,
                     "off" => false,
                     other => die(&format!("--check: expected `on` or `off`, got `{other}`")),
+                });
+            }
+            "--trace" => {
+                s.trace = Some(match value_for("--trace").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => die(&format!("--trace: expected `on` or `off`, got `{other}`")),
                 });
             }
             "--deadline-ms" => {
@@ -143,6 +154,9 @@ fn submit_body(s: &Submit) -> String {
     }
     if let Some(c) = s.check {
         fields.push(format!("\"check\": {c}"));
+    }
+    if let Some(t) = s.trace {
+        fields.push(format!("\"trace\": {t}"));
     }
     if let Some(d) = s.deadline_ms {
         fields.push(format!("\"deadline_ms\": {d}"));

@@ -131,6 +131,16 @@ pub fn respond(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    respond_bytes(stream, status, content_type, body.as_bytes())
+}
+
+/// Byte-body variant of [`respond`] for binary payloads (trace files).
+pub fn respond_bytes(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
     let head = format!(
         "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\n\
          content-length: {}\r\nconnection: close\r\n\r\n",
@@ -138,7 +148,7 @@ pub fn respond(
         body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(body)?;
     stream.flush()
 }
 

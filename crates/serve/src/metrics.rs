@@ -6,9 +6,10 @@
 //! exactly the fields `Report::to_json` writes — one schema, two surfaces.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
-use smtx_bench::report::runner_stats_fields;
-use smtx_bench::runner::RunnerStats;
+use smtx_bench::report::{runner_hist_fields, runner_stats_fields};
+use smtx_bench::runner::{RunnerStats, HIST_BOUNDS_MS};
 
 /// Monotonic service counters. All relaxed: these are observability
 /// counters, not synchronization.
@@ -32,12 +33,25 @@ pub struct Metrics {
     pub jobs_rejected_shutdown: AtomicU64,
     /// Jobs whose deadline expired before a worker picked them up.
     pub deadline_expired: AtomicU64,
+    /// Queue-wait histogram: submission to worker pickup (bucket upper
+    /// bounds in [`HIST_BOUNDS_MS`] milliseconds, last bucket unbounded).
+    pub queue_wait_ms: [AtomicU64; 8],
+    /// Execution-latency histogram: worker pickup to terminal state.
+    pub exec_ms: [AtomicU64; 8],
 }
 
 impl Metrics {
     /// Increments one counter.
     pub fn inc(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Buckets one observed duration into a [`HIST_BOUNDS_MS`]-shaped
+    /// histogram.
+    pub fn observe_ms(&self, hist: &[AtomicU64; 8], elapsed: Duration) {
+        let ms = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+        let idx = HIST_BOUNDS_MS.iter().position(|&b| ms <= b).unwrap_or(HIST_BOUNDS_MS.len());
+        hist[idx].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Renders the plaintext exposition: service counters, live gauges,
@@ -62,10 +76,33 @@ impl Metrics {
         out.push_str(&format!("smtxd_queue_depth {queue_depth}\n"));
         out.push_str(&format!("smtxd_workers_busy {workers_busy}\n"));
         out.push_str(&format!("smtxd_workers_total {workers_total}\n"));
+        render_hist(&mut out, "smtxd_queue_wait_ms", &load_hist(&self.queue_wait_ms));
+        render_hist(&mut out, "smtxd_exec_ms", &load_hist(&self.exec_ms));
         for (name, value) in runner_stats_fields(runner) {
             out.push_str(&format!("smtxd_runner_{name} {value}\n"));
         }
+        for (name, buckets) in runner_hist_fields(runner) {
+            let prefix = format!("smtxd_runner_{}", name.trim_end_matches("_hist"));
+            render_hist(&mut out, &prefix, &buckets);
+        }
         out
+    }
+}
+
+fn load_hist(hist: &[AtomicU64; 8]) -> [u64; 8] {
+    std::array::from_fn(|i| hist[i].load(Ordering::Relaxed))
+}
+
+/// Renders one histogram as cumulative `_le_<bound>` counters (the format
+/// scrapers expect), ending with the unbounded `_le_inf` total.
+fn render_hist(out: &mut String, prefix: &str, buckets: &[u64; 8]) {
+    let mut total = 0u64;
+    for (i, count) in buckets.iter().enumerate() {
+        total += count;
+        match HIST_BOUNDS_MS.get(i) {
+            Some(bound) => out.push_str(&format!("{prefix}_le_{bound} {total}\n")),
+            None => out.push_str(&format!("{prefix}_le_inf {total}\n")),
+        }
     }
 }
 
@@ -78,7 +115,17 @@ mod tests {
         let m = Metrics::default();
         Metrics::inc(&m.jobs_accepted);
         Metrics::inc(&m.jobs_accepted);
-        let stats = RunnerStats { unique_runs: 3, cache_hits: 5, checkpoint_hits: 7, sim_cycles: 9 };
+        m.observe_ms(&m.queue_wait_ms, Duration::from_millis(0));
+        m.observe_ms(&m.queue_wait_ms, Duration::from_millis(3));
+        m.observe_ms(&m.exec_ms, Duration::from_secs(3600));
+        let stats = RunnerStats {
+            unique_runs: 3,
+            cache_hits: 5,
+            checkpoint_hits: 7,
+            sim_cycles: 9,
+            sim_ms_hist: [1, 0, 0, 0, 0, 0, 0, 2],
+            ..RunnerStats::default()
+        };
         let text = m.render(1, 2, 4, &stats);
         assert!(text.contains("smtxd_jobs_accepted 2\n"));
         assert!(text.contains("smtxd_queue_depth 1\n"));
@@ -87,5 +134,16 @@ mod tests {
         for (name, value) in runner_stats_fields(&stats) {
             assert!(text.contains(&format!("smtxd_runner_{name} {value}\n")), "missing {name}");
         }
+        // Histograms render cumulatively: both waits are ≤ 4 ms, the hour
+        // of execution only lands in the unbounded bucket.
+        assert!(text.contains("smtxd_queue_wait_ms_le_1 1\n"));
+        assert!(text.contains("smtxd_queue_wait_ms_le_4 2\n"));
+        assert!(text.contains("smtxd_queue_wait_ms_le_inf 2\n"));
+        assert!(text.contains("smtxd_exec_ms_le_4096 0\n"));
+        assert!(text.contains("smtxd_exec_ms_le_inf 1\n"));
+        assert!(text.contains("smtxd_runner_sim_ms_le_1 1\n"));
+        assert!(text.contains("smtxd_runner_sim_ms_le_inf 3\n"));
+        assert!(text.contains("smtxd_runner_checkpoint_ms_le_inf 0\n"));
+        assert!(text.contains("smtxd_runner_ref_ms_le_inf 0\n"));
     }
 }

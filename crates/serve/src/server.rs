@@ -7,6 +7,7 @@
 //! | `POST /v1/jobs`          | submit a job spec → `202` queued, `200` deduped, `400` invalid, `429` queue full, `503` draining |
 //! | `GET /v1/jobs/<id>`      | status metadata (state, spec, error) |
 //! | `GET /v1/jobs/<id>/result` | the finished report JSON, **verbatim** `Report::to_json` — byte-comparable with a figure binary's `--json` file |
+//! | `GET /v1/jobs/<id>/trace` | the captured binary trace (`application/octet-stream`) of a finished `"trace": true` kernel run |
 //! | `GET /metrics`           | plaintext counters |
 //! | `GET /healthz`           | liveness (`503` once draining) |
 //! | `POST /v1/shutdown`      | begin draining; the daemon exits after in-flight jobs finish |
@@ -22,7 +23,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::http::{read_request, respond, Request};
+use crate::http::{read_request, respond, respond_bytes, Request};
 use crate::json::{quote, Json};
 use crate::metrics::Metrics;
 use crate::service::{JobState, JobSpec, Service, ServiceConfig, Submit};
@@ -128,10 +129,42 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
     };
     Metrics::inc(&ctx.svc.metrics.http_requests);
     let (status, content_type, body) = route(&req, ctx);
-    let _ = respond(&mut stream, status, content_type, &body);
+    let _ = respond_bytes(&mut stream, status, content_type, &body);
 }
 
-fn route(req: &Request, ctx: &Ctx) -> (u16, &'static str, String) {
+/// Routes one request. The only binary-bodied answer is the trace
+/// download; everything else is JSON or plaintext and routes through
+/// [`route_text`].
+fn route(req: &Request, ctx: &Ctx) -> (u16, &'static str, Vec<u8>) {
+    if req.method == "GET" {
+        if let Some(id) =
+            req.path.strip_prefix("/v1/jobs/").and_then(|r| r.strip_suffix("/trace"))
+        {
+            return job_trace(id, &ctx.svc);
+        }
+    }
+    let (status, content_type, body) = route_text(req, ctx);
+    (status, content_type, body.into_bytes())
+}
+
+fn job_trace(id: &str, svc: &Arc<Service>) -> (u16, &'static str, Vec<u8>) {
+    const JSON: &str = "application/json";
+    match svc.state(id) {
+        None => (404, JSON, err_body(&format!("unknown job `{id}`")).into_bytes()),
+        Some(JobState::Done(_)) => match svc.trace(id) {
+            Some(bytes) => (200, "application/octet-stream", bytes),
+            None => {
+                (404, JSON, err_body("job did not request trace capture").into_bytes())
+            }
+        },
+        Some(JobState::Failed(e)) => {
+            (409, JSON, err_body(&format!("job failed: {e}")).into_bytes())
+        }
+        Some(s) => (409, JSON, err_body(&format!("job is {}", s.name())).into_bytes()),
+    }
+}
+
+fn route_text(req: &Request, ctx: &Ctx) -> (u16, &'static str, String) {
     const JSON: &str = "application/json";
     const TEXT: &str = "text/plain; charset=utf-8";
     let svc = &ctx.svc;

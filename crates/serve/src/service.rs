@@ -95,6 +95,9 @@ pub enum JobSpec {
         idle: usize,
         /// Run under the pipeline sanitizer (`None` = the daemon default).
         check: Option<bool>,
+        /// Capture a cycle-level binary trace of the run (`None` = off).
+        /// Served from the result store via `GET /v1/jobs/<id>/trace`.
+        trace: Option<bool>,
     },
 }
 
@@ -124,10 +127,17 @@ impl JobSpec {
             None => None,
             Some(b) => Some(b.as_bool().ok_or("`check` must be a boolean")?),
         };
+        let trace = match v.get("trace") {
+            None => None,
+            Some(b) => Some(b.as_bool().ok_or("`trace` must be a boolean")?),
+        };
         match (v.get("experiment"), v.get("kernel")) {
             (Some(_), Some(_)) => Err("give `experiment` or `kernel`, not both".to_string()),
             (None, None) => Err("missing `experiment` or `kernel`".to_string()),
             (Some(e), None) => {
+                if trace == Some(true) {
+                    return Err("trace capture is only supported for kernel runs".to_string());
+                }
                 let name = e.as_str().ok_or("`experiment` must be a string")?;
                 if !figures::ALL.contains(&name) {
                     return Err(format!(
@@ -165,7 +175,7 @@ impl JobSpec {
                 if idle > 7 {
                     return Err("`idle` must be at most 7".to_string());
                 }
-                Ok(JobSpec::Run { kernel, seed, insts, mechanism, idle, check })
+                Ok(JobSpec::Run { kernel, seed, insts, mechanism, idle, check, trace })
             }
         }
     }
@@ -183,7 +193,7 @@ impl JobSpec {
                 h.write_u64(*seed);
                 h.write(Self::check_tag(*check));
             }
-            JobSpec::Run { kernel, seed, insts, mechanism, idle, check } => {
+            JobSpec::Run { kernel, seed, insts, mechanism, idle, check, trace } => {
                 h.write(b"run");
                 h.write(kernel.name().as_bytes());
                 h.write_u64(*seed);
@@ -191,6 +201,7 @@ impl JobSpec {
                 h.write(mechanism.label().as_bytes());
                 h.write_usize(*idle);
                 h.write(Self::check_tag(*check));
+                h.write(Self::trace_tag(*trace));
             }
         }
         format!("{:016x}", h.finish())
@@ -203,6 +214,24 @@ impl JobSpec {
             None => b"",
             Some(true) => b"check:on",
             Some(false) => b"check:off",
+        }
+    }
+
+    fn trace_tag(trace: Option<bool>) -> &'static [u8] {
+        match trace {
+            // Same idiom as `check_tag`: the default keeps historical ids.
+            None => b"",
+            Some(true) => b"trace:on",
+            Some(false) => b"trace:off",
+        }
+    }
+
+    /// Whether the job asked for trace capture.
+    #[must_use]
+    pub fn trace(&self) -> bool {
+        match self {
+            JobSpec::Experiment { .. } => false,
+            JobSpec::Run { trace, .. } => trace.unwrap_or(false),
         }
     }
 
@@ -229,6 +258,9 @@ impl JobSpec {
         };
         if let Some(check) = self.check() {
             s.push_str(if check { " check=on" } else { " check=off" });
+        }
+        if self.trace() {
+            s.push_str(" trace=on");
         }
         s
     }
@@ -277,6 +309,12 @@ struct JobRecord {
     spec: JobSpec,
     state: JobState,
     deadline: Instant,
+    /// When the job entered the queue — the queue-wait histogram measures
+    /// from here to worker pickup.
+    submitted: Instant,
+    /// The captured binary trace, for jobs that asked for one (evicted
+    /// with the record).
+    trace: Option<Vec<u8>>,
 }
 
 struct Inner {
@@ -364,12 +402,15 @@ impl Service {
             return Submit::QueueFull;
         }
         let ms = deadline_ms.unwrap_or(self.config.default_deadline_ms);
+        let now = Instant::now();
         inner.jobs.insert(
             id.clone(),
             JobRecord {
                 spec,
                 state: JobState::Queued,
-                deadline: Instant::now() + Duration::from_millis(ms),
+                deadline: now + Duration::from_millis(ms),
+                submitted: now,
+                trace: None,
             },
         );
         inner.queue.push_back(id.clone());
@@ -383,6 +424,12 @@ impl Service {
     #[must_use]
     pub fn state(&self, id: &str) -> Option<JobState> {
         self.inner.lock().expect("service state").jobs.get(id).map(|r| r.state.clone())
+    }
+
+    /// The captured binary trace of a job, if it finished with one.
+    #[must_use]
+    pub fn trace(&self, id: &str) -> Option<Vec<u8>> {
+        self.inner.lock().expect("service state").jobs.get(id).and_then(|r| r.trace.clone())
     }
 
     /// Status metadata JSON for `GET /v1/jobs/<id>`.
@@ -482,6 +529,10 @@ impl Service {
                             self.done_cv.notify_all();
                             continue;
                         }
+                        self.metrics.observe_ms(
+                            &self.metrics.queue_wait_ms,
+                            r.submitted.elapsed(),
+                        );
                         r.state = JobState::Running;
                         let spec = r.spec.clone();
                         inner.busy += 1;
@@ -496,11 +547,13 @@ impl Service {
 
             // The simulator asserts on impossible configurations; a panic
             // must fail one job, not the daemon.
+            let t0 = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(&spec)));
-            let state = match outcome {
-                Ok(json) => {
+            self.metrics.observe_ms(&self.metrics.exec_ms, t0.elapsed());
+            let (state, trace) = match outcome {
+                Ok((json, trace)) => {
                     Metrics::inc(&self.metrics.jobs_completed);
-                    JobState::Done(json)
+                    (JobState::Done(json), trace)
                 }
                 Err(p) => {
                     Metrics::inc(&self.metrics.jobs_failed);
@@ -509,13 +562,14 @@ impl Service {
                         .map(String::as_str)
                         .or_else(|| p.downcast_ref::<&str>().copied())
                         .unwrap_or("job panicked");
-                    JobState::Failed(format!("execution panicked: {msg}"))
+                    (JobState::Failed(format!("execution panicked: {msg}")), None)
                 }
             };
 
             let mut inner = self.inner.lock().expect("service state");
             if let Some(r) = inner.jobs.get_mut(&id) {
                 r.state = state;
+                r.trace = trace;
             }
             inner.busy -= 1;
             Self::retire(&mut inner, id, self.config.results_cap);
@@ -535,12 +589,13 @@ impl Service {
         }
     }
 
-    /// Executes one job on the shared runner and serializes its report.
-    /// Experiments run the figure bodies the binaries run — quiet, on this
-    /// service's runner — so the JSON matches `--json` output field for
-    /// field (rows byte-identical; wall clock and cache counters reflect
-    /// the daemon's shared state).
-    fn execute(&self, spec: &JobSpec) -> String {
+    /// Executes one job on the shared runner and serializes its report
+    /// (plus the captured binary trace, for kernel runs that asked for
+    /// one). Experiments run the figure bodies the binaries run — quiet, on
+    /// this service's runner — so the JSON matches `--json` output field
+    /// for field (rows byte-identical; wall clock and cache counters
+    /// reflect the daemon's shared state).
+    fn execute(&self, spec: &JobSpec) -> (String, Option<Vec<u8>>) {
         let checked = spec.check().unwrap_or(self.config.check);
         let runner = if checked { &self.checked_runner } else { &self.runner };
         match spec {
@@ -548,7 +603,7 @@ impl Service {
                 let args = Args { insts: *insts, seed: *seed, ..Args::default() };
                 let mut exp = Experiment::on_runner(name, args, Arc::clone(runner)).quiet();
                 assert!(figures::run_named(name, &mut exp), "validated name `{name}`");
-                exp.into_report().to_json()
+                (exp.into_report().to_json(), None)
             }
             JobSpec::Run { kernel, seed, insts, mechanism, idle, .. } => {
                 let args = Args { insts: *insts, seed: *seed, ..Args::default() };
@@ -568,7 +623,13 @@ impl Service {
                     &format!("{}/{}", kernel.name(), mechanism.label()),
                     &[run.cycles as f64, run.ipc(), run.arch_misses as f64, penalty],
                 );
-                exp.into_report().to_json()
+                // Traced runs re-simulate with the tracer attached — the
+                // memoized result above may have come from the cache, which
+                // holds no events. Determinism makes the re-run identical.
+                let trace = spec
+                    .trace()
+                    .then(|| exp.runner.run_traced(*kernel, *seed, insts, &cfg));
+                (exp.into_report().to_json(), trace)
             }
         }
     }
@@ -599,15 +660,21 @@ mod tests {
                 insts: DEFAULT_INSTS,
                 mechanism: ExnMechanism::Traditional,
                 idle: 1,
-                check: None
+                check: None,
+                trace: None
             }
         );
         let s = parse(r#"{"experiment": "fig5", "check": true}"#).unwrap();
         assert_eq!(s.check(), Some(true));
         assert!(s.describe().ends_with("check=on"));
+        let s = parse(r#"{"kernel": "compress", "trace": true}"#).unwrap();
+        assert!(s.trace());
+        assert!(s.describe().ends_with("trace=on"));
         for bad in [
             r#"{}"#,
             r#"{"experiment": "fig9"}"#,
+            r#"{"experiment": "fig5", "trace": true}"#,
+            r#"{"kernel": "compress", "trace": "yes"}"#,
             r#"{"experiment": "fig5", "kernel": "gcc"}"#,
             r#"{"kernel": "spice"}"#,
             r#"{"kernel": "gcc", "mechanism": "magic"}"#,
@@ -631,6 +698,9 @@ mod tests {
         assert_eq!(a.id().len(), 16);
         let checked = parse(r#"{"experiment": "fig5", "insts": 5000, "check": true}"#).unwrap();
         assert_ne!(a.id(), checked.id(), "a checked job is a distinct job");
+        let plain = parse(r#"{"kernel": "compress", "insts": 5000}"#).unwrap();
+        let traced = parse(r#"{"kernel": "compress", "insts": 5000, "trace": true}"#).unwrap();
+        assert_ne!(plain.id(), traced.id(), "a traced job is a distinct job");
     }
 
     #[test]
@@ -682,11 +752,11 @@ mod tests {
     #[test]
     fn checked_job_routes_to_the_checked_runner_with_identical_rows() {
         let svc = Service::new(ServiceConfig { runner_jobs: 2, ..ServiceConfig::default() });
-        let plain = svc.execute(
+        let (plain, _) = svc.execute(
             &parse(r#"{"kernel": "compress", "insts": 3000, "mechanism": "multithreaded"}"#)
                 .unwrap(),
         );
-        let checked = svc.execute(
+        let (checked, _) = svc.execute(
             &parse(
                 r#"{"kernel": "compress", "insts": 3000, "mechanism": "multithreaded", "check": true}"#,
             )
@@ -699,6 +769,31 @@ mod tests {
         assert_eq!(c.get("check").and_then(Json::as_bool), Some(true));
         assert_eq!(p.get("rows"), c.get("rows"), "checking must not perturb rows");
         assert_eq!(p.get("columns"), c.get("columns"));
+    }
+
+    #[test]
+    fn traced_run_yields_a_decodable_trace_and_identical_report() {
+        let svc = Service::new(ServiceConfig { runner_jobs: 2, ..ServiceConfig::default() });
+        let (plain, none) = svc.execute(
+            &parse(r#"{"kernel": "compress", "insts": 3000, "mechanism": "multithreaded"}"#)
+                .unwrap(),
+        );
+        assert!(none.is_none(), "untraced jobs carry no trace");
+        let (traced, bytes) = svc.execute(
+            &parse(
+                r#"{"kernel": "compress", "insts": 3000, "mechanism": "multithreaded", "trace": true}"#,
+            )
+            .unwrap(),
+        );
+        let bytes = bytes.expect("trace captured");
+        let events = smtx_trace::codec::decode(&bytes).expect("trace decodes");
+        assert!(
+            matches!(events.first(), Some(smtx_trace::TraceEvent::RunStart { .. })),
+            "segment opens with its RunStart marker"
+        );
+        let p = Json::parse(&plain).expect("plain report");
+        let t = Json::parse(&traced).expect("traced report");
+        assert_eq!(p.get("rows"), t.get("rows"), "tracing must not perturb rows");
     }
 
     #[test]
@@ -717,6 +812,8 @@ mod tests {
                     },
                     state: JobState::Done("{}".into()),
                     deadline: Instant::now(),
+                    submitted: Instant::now(),
+                    trace: None,
                 },
             );
             Service::retire(&mut inner, id.to_string(), 1);

@@ -1,0 +1,53 @@
+//! # smtx-trace — trace capture, the binary trace format, and the offline
+//! exception-penalty analyzer
+//!
+//! The machine-side half of tracing lives in `smtx-core` ([`TraceEvent`],
+//! [`TraceSink`], the in-memory [`VecSink`]); this crate provides
+//! everything built on top:
+//!
+//! * [`RingSink`] — bounded in-memory capture of the most recent events;
+//! * [`FileSink`] and the [`codec`] module — the compact binary on-disk
+//!   format with exact-`u64` varint encode/decode;
+//! * [`analyze`] — offline exception-episode reconstruction and Fig.
+//!   6-style penalty attribution (squash refill / handler occupancy /
+//!   serialization stalls) from a trace alone;
+//! * the `smtx-trace` CLI (`smtx-trace analyze <path>`).
+//!
+//! # Example
+//!
+//! ```
+//! use smtx_core::{ExnMechanism, Machine, MachineConfig, VecSink};
+//! use smtx_isa::{ProgramBuilder, Reg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.li(Reg(1), 21);
+//! b.add(Reg(2), Reg(1), Reg(1));
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let mut m = Machine::new(MachineConfig::paper_baseline(ExnMechanism::PerfectTlb));
+//! m.attach_program(0, &program);
+//! m.set_tracer(Some(Box::new(VecSink::default())));
+//! m.run(10_000);
+//! let events = m.take_tracer().expect("attached above").take_events();
+//!
+//! let bytes = smtx_trace::codec::encode(&events);
+//! let back = smtx_trace::codec::decode(&bytes).expect("round-trips");
+//! assert_eq!(back, events);
+//! let report = smtx_trace::analyze(&back);
+//! assert_eq!(report.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+pub mod codec;
+mod sink;
+
+pub use analyze::{analyze, EventCounts, RunId, SegmentAnalysis};
+pub use sink::{FileSink, RingSink};
+
+// Re-exported so downstream users need only one trace-facing crate.
+pub use smtx_core::{RaiseKind, RevertWhy, SquashCause, TraceEvent, TraceSink, VecSink};

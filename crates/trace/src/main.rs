@@ -1,0 +1,99 @@
+//! `smtx-trace` — offline trace tooling.
+//!
+//! ```text
+//! smtx-trace analyze <trace.bin> [--perfect-cycles N]
+//! smtx-trace dump <trace.bin> [--limit N]
+//! ```
+
+use std::process::ExitCode;
+
+use smtx_trace::{analyze, codec};
+
+const USAGE: &str = "usage: smtx-trace <command> [args]\n\
+  analyze <trace.bin> [--perfect-cycles N]   reconstruct episodes and attribute penalty cycles\n\
+  dump <trace.bin> [--limit N]               print decoded events\n\
+\n\
+  --perfect-cycles N   with a single-segment trace, also print the penalty\n\
+                       (N = the perfect-TLB baseline's cycle count) and the\n\
+                       unattributed residual\n";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("smtx-trace: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Vec<smtx_trace::TraceEvent>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    codec::decode(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses `rest` as an optional single `<flag> N` pair; anything else is
+/// an error.
+fn parse_only_flag_u64(rest: &[String], flag: &str) -> Result<Option<u64>, String> {
+    match rest {
+        [] => Ok(None),
+        [f, value] if f == flag => {
+            let parsed =
+                value.parse::<u64>().map_err(|_| format!("{flag}: bad number {value:?}"))?;
+            Ok(Some(parsed))
+        }
+        [f] if f == flag => Err(format!("{flag} needs a value")),
+        [other, ..] => Err(format!("unknown argument {other:?}")),
+    }
+}
+
+fn cmd_analyze(path: &str, rest: &[String]) -> Result<(), String> {
+    let perfect = parse_only_flag_u64(rest, "--perfect-cycles")?;
+    let events = load(path)?;
+    let segments = analyze(&events);
+    if segments.is_empty() {
+        return Err(format!("{path}: trace holds no events"));
+    }
+    if perfect.is_some() && segments.len() != 1 {
+        return Err(format!(
+            "--perfect-cycles applies to single-segment traces; {path} has {} segments",
+            segments.len()
+        ));
+    }
+    for (i, seg) in segments.iter().enumerate() {
+        let penalty = perfect.map(|p| seg.end_cycle as i64 - p as i64);
+        print!("{}", seg.render(i, penalty));
+    }
+    Ok(())
+}
+
+fn cmd_dump(path: &str, rest: &[String]) -> Result<(), String> {
+    let limit = parse_only_flag_u64(rest, "--limit")?.unwrap_or(u64::MAX);
+    let events = load(path)?;
+    for ev in events.iter().take(usize::try_from(limit).unwrap_or(usize::MAX)) {
+        println!("{ev:?}");
+    }
+    if (events.len() as u64) > limit {
+        println!("... {} more events", events.len() as u64 - limit);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage_error("missing command");
+    };
+    let Some(path) = args.get(1) else {
+        return usage_error("missing trace path");
+    };
+    let rest = &args[2..];
+    let result = match command.as_str() {
+        "analyze" => cmd_analyze(path, rest),
+        "dump" => cmd_dump(path, rest),
+        other => return usage_error(&format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("smtx-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Differential test: the offline analyzer, reading *only* the event
+//! stream, must reproduce the machine's own `Stats` counters exactly —
+//! for every kernel and every Fig. 5 configuration.
+//!
+//! The identities under test (documented in `smtx_core::trace`):
+//!
+//! 1. the final `End` stamp equals `stats.cycles`;
+//! 2. the union of splice intervals equals `stats.handler_active_cycles`;
+//! 3. fetched − retired equals `stats.squashed_insts` once the machine is
+//!    quiescent;
+//! 4. attribution is exhaustive: `attributed() + residual(penalty)` is the
+//!    run's penalty over the perfect-TLB baseline, exactly, as integers.
+
+use smtx_bench::config_with_idle;
+use smtx_core::{
+    ExnMechanism, Machine, MachineConfig, Stats, TraceEvent, VecSink,
+};
+use smtx_trace::{analyze, SegmentAnalysis};
+use smtx_workloads::{load_kernel, Kernel};
+
+const INSTS: u64 = 3_000;
+const SEED: u64 = 7;
+
+/// The Fig. 5 sweep: trap, multithreaded with 1 and 3 idle contexts, and
+/// the hardware page walker.
+const CONFIGS: [(&str, ExnMechanism, usize); 4] = [
+    ("traditional", ExnMechanism::Traditional, 1),
+    ("multi(1)", ExnMechanism::Multithreaded, 1),
+    ("multi(3)", ExnMechanism::Multithreaded, 3),
+    ("hardware", ExnMechanism::Hardware, 1),
+];
+
+fn traced_run(kernel: Kernel, config: MachineConfig) -> (Vec<TraceEvent>, Stats) {
+    let mut m = Machine::new(config);
+    load_kernel(&mut m, 0, kernel, SEED);
+    m.set_tracer(Some(Box::new(VecSink::default())));
+    m.set_budget(0, INSTS);
+    m.run(20_000_000);
+    assert_eq!(m.stats().retired(0), INSTS, "{} did not finish", kernel.name());
+    let events = m.take_tracer().expect("tracer attached above").take_events();
+    (events, m.stats().clone())
+}
+
+fn cycles_of(kernel: Kernel, config: MachineConfig) -> u64 {
+    let mut m = Machine::new(config);
+    load_kernel(&mut m, 0, kernel, SEED);
+    m.set_budget(0, INSTS);
+    m.run(20_000_000);
+    assert_eq!(m.stats().retired(0), INSTS);
+    m.stats().cycles
+}
+
+fn segment_of(events: &[TraceEvent]) -> SegmentAnalysis {
+    let segs = analyze(events);
+    assert_eq!(segs.len(), 1, "a machine-only trace is one segment");
+    segs[0]
+}
+
+#[test]
+fn analysis_matches_stats_for_every_kernel_and_fig5_config() {
+    for kernel in Kernel::ALL {
+        for (name, mechanism, idle) in CONFIGS {
+            let config = config_with_idle(mechanism, idle);
+            let mut perfect_cfg = config.clone();
+            perfect_cfg.mechanism = ExnMechanism::PerfectTlb;
+            let perfect_cycles = cycles_of(kernel, perfect_cfg);
+
+            let (events, stats) = traced_run(kernel, config);
+            let seg = segment_of(&events);
+            let tag = format!("{}/{name}", kernel.name());
+
+            // (1) The trace's clock is the machine's clock.
+            assert!(
+                matches!(events.last(), Some(TraceEvent::End { .. })),
+                "{tag}: trace must close with End"
+            );
+            assert_eq!(seg.end_cycle, stats.cycles, "{tag}: End stamp vs stats.cycles");
+
+            // (2) Splice-interval union == handler-activity counter.
+            assert_eq!(
+                seg.spliced_occupancy, stats.handler_active_cycles,
+                "{tag}: spliced occupancy vs stats.handler_active_cycles"
+            );
+
+            // (3) Quiescent flow balance: what was fetched either retired
+            // or was squashed.
+            assert_eq!(
+                seg.counts.fetch - seg.counts.retire,
+                stats.squashed_insts,
+                "{tag}: fetch − retire vs stats.squashed_insts"
+            );
+            // ... and the trace agrees with the machine's own flow counts.
+            assert_eq!(seg.counts.fetch, stats.fetched, "{tag}: fetch count");
+            assert_eq!(seg.counts.issue, stats.issued, "{tag}: issue count");
+            assert_eq!(
+                seg.counts.retire,
+                stats.total_retired() + stats.threads.iter().map(|t| t.retired_pal).sum::<u64>(),
+                "{tag}: retire count (user + PAL)"
+            );
+
+            // (4) Attribution is exhaustive over the measured penalty.
+            let penalty = stats.cycles as i64 - perfect_cycles as i64;
+            assert_eq!(
+                seg.attributed() as i64 + seg.residual(penalty),
+                penalty,
+                "{tag}: attributed + residual must equal the penalty exactly"
+            );
+            // The non-perfect mechanisms all pay for misses somewhere; an
+            // all-zero attribution would mean the analyzer is blind.
+            assert!(
+                seg.attributed() > 0,
+                "{tag}: expected nonzero attributed cycles (penalty {penalty})"
+            );
+        }
+    }
+}

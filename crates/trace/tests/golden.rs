@@ -1,0 +1,110 @@
+//! Golden-trace fixtures: one per exception model, captured from a fixed
+//! kernel and seed, byte-compared against `tests/golden/*.bin`.
+//!
+//! Any change to event emission order, event contents, or the binary
+//! encoding shows up here as a fixture diff. When a change is
+//! *intentional*, regenerate with:
+//!
+//! ```text
+//! SMTX_TRACE_BLESS=1 cargo test -p smtx-trace --test golden
+//! ```
+//!
+//! and review the new fixtures like any other diff.
+
+use std::path::PathBuf;
+
+use smtx_core::{ExnMechanism, Machine, MachineConfig, RaiseKind, TraceEvent, VecSink};
+use smtx_trace::codec;
+use smtx_workloads::{load_kernel, Kernel};
+
+/// Small enough to keep fixtures a few hundred KiB, large enough that
+/// every model takes primary TLB misses (asserted below).
+const INSTS: u64 = 2_000;
+const SEED: u64 = 42;
+
+/// The four fixture models: the traditional trap, the paper's
+/// multithreaded splice, quick-start, and the hardware page walker.
+const MODELS: [(&str, ExnMechanism); 4] = [
+    ("traditional", ExnMechanism::Traditional),
+    ("multithreaded", ExnMechanism::Multithreaded),
+    ("quick_start", ExnMechanism::QuickStart),
+    ("hardware", ExnMechanism::Hardware),
+];
+
+fn capture(mechanism: ExnMechanism) -> Vec<TraceEvent> {
+    let mut m = Machine::new(MachineConfig::paper_baseline(mechanism).with_threads(2));
+    load_kernel(&mut m, 0, Kernel::Compress, SEED);
+    m.set_tracer(Some(Box::new(VecSink::default())));
+    m.set_budget(0, INSTS);
+    m.run(10_000_000);
+    assert_eq!(m.stats().retired(0), INSTS, "fixture run must finish");
+    m.take_tracer().expect("tracer attached above").take_events()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.bin"))
+}
+
+#[test]
+fn golden_traces_are_byte_stable() {
+    let bless = std::env::var_os("SMTX_TRACE_BLESS").is_some();
+    for (name, mechanism) in MODELS {
+        let events = capture(mechanism);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Raise { kind: RaiseKind::Primary, .. })),
+            "{name}: the fixture window must exercise the exception path"
+        );
+        let bytes = codec::encode(&events);
+        let path = golden_path(name);
+        if bless {
+            std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir");
+            std::fs::write(&path, &bytes).expect("write fixture");
+            eprintln!("blessed {} ({} bytes)", path.display(), bytes.len());
+            continue;
+        }
+        let want = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e}\nrun `SMTX_TRACE_BLESS=1 cargo test -p smtx-trace --test golden` \
+                 to (re)generate the fixtures",
+                path.display()
+            )
+        });
+        // Compare decoded events first: a mismatch names the first
+        // divergent event instead of dumping two binary blobs.
+        let want_events = codec::decode(&want).expect("fixture decodes");
+        if let Some(i) = (0..events.len().max(want_events.len()))
+            .find(|&i| events.get(i) != want_events.get(i))
+        {
+            panic!(
+                "{name}: trace diverged from fixture at event {i}:\n  fixture: {:?}\n  \
+                 current: {:?}\n(bless to accept an intentional change)",
+                want_events.get(i),
+                events.get(i)
+            );
+        }
+        assert_eq!(bytes, want, "{name}: same events, different encoding");
+    }
+}
+
+#[test]
+fn golden_traces_differ_across_models() {
+    // The four mechanisms handle the same misses differently; identical
+    // fixtures would mean the tracer is blind to the mechanism.
+    let mut encoded: Vec<Vec<u8>> = Vec::new();
+    for (_, mechanism) in MODELS {
+        encoded.push(codec::encode(&capture(mechanism)));
+    }
+    for i in 0..encoded.len() {
+        for j in i + 1..encoded.len() {
+            assert_ne!(
+                encoded[i], encoded[j],
+                "{} and {} produced identical traces",
+                MODELS[i].0, MODELS[j].0
+            );
+        }
+    }
+}

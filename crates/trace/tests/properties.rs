@@ -1,0 +1,258 @@
+//! Property tests over machine-emitted traces: structural invariants that
+//! must hold for *every* kernel, seed and exception model, with the sample
+//! points drawn from `smtx-rng` so each run covers a deterministic but
+//! non-hand-picked corner of the space.
+
+use std::collections::BTreeMap;
+
+use smtx_check::{verify_trace, HandlerSpec};
+use smtx_core::{
+    ExnMechanism, Machine, MachineConfig, RaiseKind, RetireEvent, SquashCause, TraceEvent,
+    VecSink,
+};
+use smtx_rng::{rngs::StdRng, RngExt, SeedableRng};
+use smtx_workloads::{load_kernel, Kernel};
+
+const MODELS: [ExnMechanism; 4] = [
+    ExnMechanism::Traditional,
+    ExnMechanism::Multithreaded,
+    ExnMechanism::QuickStart,
+    ExnMechanism::Hardware,
+];
+
+fn traced_run(
+    kernel: Kernel,
+    seed: u64,
+    mechanism: ExnMechanism,
+    threads: usize,
+    insts: u64,
+    idle_skip: bool,
+) -> (Vec<TraceEvent>, Machine) {
+    let mut m = Machine::new(MachineConfig::paper_baseline(mechanism).with_threads(threads));
+    m.set_idle_skip(idle_skip);
+    load_kernel(&mut m, 0, kernel, seed);
+    m.enable_retire_log();
+    m.set_tracer(Some(Box::new(VecSink::default())));
+    m.set_budget(0, insts);
+    m.run(10_000_000);
+    assert_eq!(m.stats().retired(0), insts, "{} did not finish", kernel.name());
+    let events = m.take_tracer().expect("tracer attached above").take_events();
+    (events, m)
+}
+
+/// Deterministic sample of `(kernel, seed)` points.
+fn sample_points(n: usize) -> Vec<(Kernel, u64)> {
+    let mut rng = StdRng::seed_from_u64(0x5317_7ace);
+    (0..n)
+        .map(|_| {
+            let k = Kernel::ALL[rng.random_range(0..Kernel::ALL.len())];
+            (k, rng.random_range(1u64..=1_000_000))
+        })
+        .collect()
+}
+
+#[test]
+fn retires_are_program_ordered_per_thread() {
+    for (kernel, seed) in sample_points(3) {
+        for mechanism in MODELS {
+            let (events, _) = traced_run(kernel, seed, mechanism, 2, 1_500, true);
+            let mut last: BTreeMap<u64, u64> = BTreeMap::new();
+            for ev in &events {
+                if let TraceEvent::Retire { tid, seq, .. } = ev {
+                    if let Some(prev) = last.get(tid) {
+                        assert!(
+                            seq > prev,
+                            "{kernel:?}/{mechanism:?}: tid {tid} retired seq {seq} after {prev}"
+                        );
+                    }
+                    last.insert(*tid, *seq);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_squash_redirects_the_next_fetch() {
+    for (kernel, seed) in sample_points(3) {
+        for mechanism in MODELS {
+            let (events, _) = traced_run(kernel, seed, mechanism, 2, 1_500, true);
+            // tid -> the PC its next fetch must present (latest redirect
+            // wins; a leftover at end-of-run is an in-flight redirect the
+            // budget cut off, which is fine).
+            let mut pending: BTreeMap<u64, u64> = BTreeMap::new();
+            for (i, ev) in events.iter().enumerate() {
+                match ev {
+                    TraceEvent::Squash { tid, cause, resume_pc, .. } => {
+                        if *cause == SquashCause::Freeze {
+                            pending.remove(tid);
+                        } else {
+                            pending.insert(*tid, *resume_pc);
+                        }
+                    }
+                    TraceEvent::HandlerReturn { tid, pc, .. } => {
+                        pending.insert(*tid, *pc);
+                    }
+                    // A handler context is reset when an episode starts or
+                    // ends; redirects from its previous life do not apply.
+                    TraceEvent::SpliceStart { handler_tid, .. }
+                    | TraceEvent::SpliceEnd { handler_tid, .. } => {
+                        pending.remove(handler_tid);
+                    }
+                    TraceEvent::Fetch { tid, pc, .. } => {
+                        if let Some(want) = pending.remove(tid) {
+                            assert_eq!(
+                                *pc, want,
+                                "{kernel:?}/{mechanism:?}: event {i}: tid {tid} fetched \
+                                 {pc:#x} after a redirect to {want:#x}"
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_primary_raise_resolves() {
+    for (kernel, seed) in sample_points(3) {
+        for mechanism in MODELS {
+            let (events, _) = traced_run(kernel, seed, mechanism, 2, 1_500, true);
+            let mut open: BTreeMap<(u64, u64), ()> = BTreeMap::new();
+            let mut last_retired: BTreeMap<u64, u64> = BTreeMap::new();
+            for ev in &events {
+                match ev {
+                    TraceEvent::Raise { kind: RaiseKind::Primary, tid, seq, .. } => {
+                        open.insert((*tid, *seq), ());
+                    }
+                    TraceEvent::Retire { tid, seq, .. } => {
+                        open.remove(&(*tid, *seq));
+                        last_retired.insert(*tid, *seq);
+                    }
+                    TraceEvent::Squash { tid, from_seq, .. } => {
+                        let gone: Vec<_> = open
+                            .keys()
+                            .filter(|(t, s)| t == tid && s >= from_seq)
+                            .copied()
+                            .collect();
+                        for k in gone {
+                            open.remove(&k);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // An episode may stay open only if its instruction was still in
+            // flight (beyond the thread's last retirement) when the budget
+            // ended the run.
+            for (tid, seq) in open.keys() {
+                let retired = last_retired.get(tid).copied().unwrap_or(0);
+                assert!(
+                    *seq > retired,
+                    "{kernel:?}/{mechanism:?}: primary raise (tid {tid}, seq {seq}) never \
+                     resolved although the thread retired up to {retired}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn committed_splices_satisfy_the_postmortem_verifier() {
+    let mut episodes_checked = 0usize;
+    for (kernel, seed) in sample_points(4) {
+        for mechanism in [ExnMechanism::Multithreaded, ExnMechanism::QuickStart] {
+            let (events, _) = traced_run(kernel, seed, mechanism, 2, 2_000, true);
+            // handler_tid -> (master, exc_seq, trace index of SpliceStart)
+            let mut active: BTreeMap<u64, (u64, u64, usize)> = BTreeMap::new();
+            for (i, ev) in events.iter().enumerate() {
+                match ev {
+                    TraceEvent::SpliceStart { handler_tid, master, exc_seq, .. } => {
+                        active.insert(*handler_tid, (*master, *exc_seq, i));
+                    }
+                    // A relink re-targets the open episode at a younger
+                    // excepting instruction (aux carries the handler tid).
+                    TraceEvent::Raise { kind: RaiseKind::Relink, seq, aux, .. } => {
+                        if let Some(ep) = active.get_mut(aux) {
+                            ep.1 = *seq;
+                        }
+                    }
+                    TraceEvent::SpliceEnd { handler_tid, committed, .. } => {
+                        let Some((master, exc_seq, start)) = active.remove(handler_tid) else {
+                            panic!("SpliceEnd without a matching SpliceStart at event {i}");
+                        };
+                        if !committed {
+                            continue;
+                        }
+                        let slice: Vec<RetireEvent> = events[start..=i]
+                            .iter()
+                            .filter_map(|e| match e {
+                                TraceEvent::Retire { tid, seq, pc, pal, .. } => {
+                                    Some(RetireEvent {
+                                        tid: *tid as usize,
+                                        seq: *seq,
+                                        pc: *pc,
+                                        pal: *pal,
+                                    })
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        let spec = HandlerSpec {
+                            handler_tid: *handler_tid as usize,
+                            master: master as usize,
+                            exc_seq,
+                        };
+                        let violations = verify_trace(&slice, &[spec]);
+                        assert!(
+                            violations.is_empty(),
+                            "{kernel:?}/{mechanism:?}: splice episode at event {start} \
+                             violates Fig. 1c ordering: {violations:?}"
+                        );
+                        episodes_checked += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert!(episodes_checked > 0, "the sample must exercise committed splices");
+}
+
+#[test]
+fn trace_retires_equal_the_retire_log() {
+    for (kernel, seed) in sample_points(2) {
+        let (events, m) = traced_run(kernel, seed, ExnMechanism::Multithreaded, 2, 1_500, true);
+        let from_trace: Vec<RetireEvent> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Retire { tid, seq, pc, pal, .. } => Some(RetireEvent {
+                    tid: *tid as usize,
+                    seq: *seq,
+                    pc: *pc,
+                    pal: *pal,
+                }),
+                _ => None,
+            })
+            .collect();
+        let log = m.retire_log().expect("retire log enabled");
+        assert_eq!(
+            from_trace.as_slice(),
+            log,
+            "{kernel:?}: trace and retire log must agree exactly"
+        );
+    }
+}
+
+#[test]
+fn traces_are_identical_with_idle_skip_on_and_off() {
+    // Idle-cycle skipping jumps simulated time without running the
+    // skipped cycles — no events may appear or vanish.
+    for mechanism in MODELS {
+        let (on, _) = traced_run(Kernel::Compress, 42, mechanism, 2, 1_500, true);
+        let (off, _) = traced_run(Kernel::Compress, 42, mechanism, 2, 1_500, false);
+        assert_eq!(on, off, "{mechanism:?}: idle-skip changed the event stream");
+    }
+}
