@@ -154,11 +154,12 @@ pub fn runner_stats_json(stats: &RunnerStats, indent: usize) -> String {
 /// `/metrics` endpoint renders these as cumulative `_le_` counters, so it
 /// exposes exactly the histograms [`runner_stats_json`] writes.
 #[must_use]
-pub fn runner_hist_fields(stats: &RunnerStats) -> [(&'static str, [u64; 8]); 3] {
+pub fn runner_hist_fields(stats: &RunnerStats) -> [(&'static str, [u64; 8]); 4] {
     [
         ("checkpoint_ms_hist", stats.checkpoint_ms_hist),
         ("sim_ms_hist", stats.sim_ms_hist),
         ("ref_ms_hist", stats.ref_ms_hist),
+        ("lock_wait_ms_hist", stats.lock_wait_ms_hist),
     ]
 }
 
@@ -231,6 +232,7 @@ mod tests {
             checkpoint_ms_hist: [1, 2, 3, 4, 5, 6, 7, 8],
             sim_ms_hist: [8, 7, 6, 5, 4, 3, 2, 1],
             ref_ms_hist: [0, 0, 9, 0, 0, 0, 0, 1],
+            lock_wait_ms_hist: [55, 0, 0, 0, 0, 0, 0, 2],
         };
         let json = runner_stats_json(&stats, 2);
         for (name, value) in runner_stats_fields(&stats) {

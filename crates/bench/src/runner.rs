@@ -14,7 +14,6 @@
 //! [`Stats`] whether it is computed serially, in parallel, or served from
 //! the cache — `tests/runner_determinism.rs` holds that gate.
 
-use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -24,6 +23,7 @@ use std::time::Instant;
 
 use smtx_core::{CheckConfig, Checkpoint, ExnMechanism, Machine, MachineConfig, TraceEvent, VecSink};
 use smtx_trace::codec;
+use smtx_util::ShardMap;
 use smtx_workloads::{kernel_reference, load_kernel, Kernel};
 
 use crate::{
@@ -153,6 +153,10 @@ pub struct RunnerStats {
     pub sim_ms_hist: [u64; 8],
     /// Wall-time histogram of reference-interpreter runs.
     pub ref_ms_hist: [u64; 8],
+    /// Lock-wait histogram summed over every cache-shard acquisition
+    /// (same bucket bounds): sustained counts past the first bucket mean
+    /// workers are contending on the memoization caches.
+    pub lock_wait_ms_hist: [u64; 8],
 }
 
 /// The shared executor: a job cache plus a scoped-thread worker pool.
@@ -177,13 +181,15 @@ pub struct Runner {
     /// Observation-only (rows stay bit-identical) but any violation panics
     /// the run — a checked experiment must be clean or die loudly.
     check: bool,
-    // BTreeMaps, not hash maps: cache contents are occasionally drained
-    // for diagnostics, and ordered iteration keeps any such path
-    // deterministic by construction (smtx-lint: no-unordered-iteration).
-    sims: Mutex<BTreeMap<RunKey, Arc<RunResult>>>,
-    refs: Mutex<BTreeMap<(Kernel, u64, u64), u64>>,
-    mixes: Mutex<BTreeMap<MixKey, u64>>,
-    checkpoints: Mutex<BTreeMap<CkKey, Arc<Checkpoint>>>,
+    // Lock-sharded hash maps: workers hash-select one of 16 shard locks,
+    // so concurrent lookups rarely collide, and lookups clone the value
+    // out so no lock is held across caller work. `no-unordered-iteration`
+    // stays satisfied by construction — `ShardMap::sorted_entries` is the
+    // only multi-entry view, and it key-sorts what it returns.
+    sims: ShardMap<RunKey, Arc<RunResult>>,
+    refs: ShardMap<(Kernel, u64, u64), u64>,
+    mixes: ShardMap<MixKey, u64>,
+    checkpoints: ShardMap<CkKey, Arc<Checkpoint>>,
     unique_runs: AtomicU64,
     cache_hits: AtomicU64,
     ck_hits: AtomicU64,
@@ -237,10 +243,10 @@ impl Runner {
             use_checkpoints: true,
             idle_skip: true,
             check: false,
-            sims: Mutex::new(BTreeMap::new()),
-            refs: Mutex::new(BTreeMap::new()),
-            mixes: Mutex::new(BTreeMap::new()),
-            checkpoints: Mutex::new(BTreeMap::new()),
+            sims: ShardMap::new(HIST_BOUNDS_MS),
+            refs: ShardMap::new(HIST_BOUNDS_MS),
+            mixes: ShardMap::new(HIST_BOUNDS_MS),
+            checkpoints: ShardMap::new(HIST_BOUNDS_MS),
             unique_runs: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             ck_hits: AtomicU64::new(0),
@@ -341,6 +347,15 @@ impl Runner {
             checkpoint_ms_hist: load_hist(&self.ck_ms),
             sim_ms_hist: load_hist(&self.sim_ms),
             ref_ms_hist: load_hist(&self.ref_ms),
+            lock_wait_ms_hist: {
+                let hists = [
+                    self.sims.wait_hist(),
+                    self.refs.wait_hist(),
+                    self.mixes.wait_hist(),
+                    self.checkpoints.wait_hist(),
+                ];
+                std::array::from_fn(|i| hists.iter().map(|h| h[i]).sum())
+            },
         }
     }
 
@@ -407,7 +422,7 @@ impl Runner {
                     Job::Mix { mix, seed, .. } => CkKey::Mix(*mix, *seed, self.skip),
                     Job::Ref { .. } => continue,
                 };
-                if ck_seen.insert(key) && !self.checkpoints.lock().expect("ck cache").contains_key(&key) {
+                if ck_seen.insert(key) && !self.checkpoints.contains(&key) {
                     ck_keys.push(key);
                 }
             }
@@ -467,12 +482,12 @@ impl Runner {
         build: impl FnOnce() -> Checkpoint,
     ) -> Arc<Checkpoint> {
         if self.use_checkpoints {
-            if let Some(hit) = self.checkpoints.lock().expect("ck cache").get(&key) {
+            if let Some(hit) = self.checkpoints.get(&key) {
                 self.ck_hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(hit);
+                return hit;
             }
         }
-        // Built outside the lock; concurrent duplicates (callers racing
+        // Built outside any lock; concurrent duplicates (callers racing
         // past prefetch) waste work but cache a deterministic value.
         let t0 = Instant::now();
         let ck = Arc::new(build());
@@ -480,12 +495,7 @@ impl Runner {
         if !self.use_checkpoints {
             return ck;
         }
-        self.checkpoints
-            .lock()
-            .expect("ck cache")
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&ck))
-            .clone()
+        self.checkpoints.get_or_insert_with(key, || Arc::clone(&ck))
     }
 
     /// Panics with the collected violation reports if a checked machine
@@ -505,13 +515,9 @@ impl Runner {
 
     fn is_cached(&self, key: &JobKey) -> bool {
         match key {
-            JobKey::Sim(k) => self.sims.lock().expect("sim cache").contains_key(k),
-            JobKey::Ref(kernel, seed, insts) => self
-                .refs
-                .lock()
-                .expect("ref cache")
-                .contains_key(&(*kernel, *seed, *insts)),
-            JobKey::Mix(k) => self.mixes.lock().expect("mix cache").contains_key(k),
+            JobKey::Sim(k) => self.sims.contains(k),
+            JobKey::Ref(kernel, seed, insts) => self.refs.contains(&(*kernel, *seed, *insts)),
+            JobKey::Mix(k) => self.mixes.contains(k),
         }
     }
 
@@ -539,9 +545,12 @@ impl Runner {
         config: &MachineConfig,
     ) -> Arc<RunResult> {
         let key = RunKey { kernel, seed, insts, config_digest: config.digest() };
-        if let Some(hit) = self.sims.lock().expect("sim cache").get(&key) {
+        // The probe clones the Arc out and drops its shard lock before
+        // returning, so nothing below (simulation, hashing, serialization)
+        // ever runs under a cache lock.
+        if let Some(hit) = self.sims.get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            return hit;
         }
         // Compute outside the lock; a concurrent duplicate (only possible
         // when callers race past prefetch) wastes work but, the simulator
@@ -585,12 +594,7 @@ impl Runner {
         });
         self.unique_runs.fetch_add(1, Ordering::Relaxed);
         self.sim_cycles.fetch_add(result.cycles, Ordering::Relaxed);
-        self.sims
-            .lock()
-            .expect("sim cache")
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&result))
-            .clone()
+        self.sims.get_or_insert_with(key, || Arc::clone(&result))
     }
 
     /// Runs one kernel point with an in-memory tracer attached and returns
@@ -646,7 +650,7 @@ impl Runner {
     /// Memoized [`crate::arch_misses`] (reference-interpreter DTLB misses).
     pub fn arch_misses(&self, kernel: Kernel, seed: u64, insts: u64) -> u64 {
         let key = (kernel, seed, insts);
-        if let Some(&hit) = self.refs.lock().expect("ref cache").get(&key) {
+        if let Some(hit) = self.refs.get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
@@ -668,12 +672,7 @@ impl Runner {
             misses
         };
         self.unique_runs.fetch_add(1, Ordering::Relaxed);
-        *self
-            .refs
-            .lock()
-            .expect("ref cache")
-            .entry(key)
-            .or_insert(misses)
+        self.refs.get_or_insert_with(key, || misses)
     }
 
     /// Memoized [`crate::insts_for`]: scales `base_insts` so the kernel
@@ -702,7 +701,7 @@ impl Runner {
     /// returning total machine cycles to retire every thread's budget.
     pub fn run_mix(&self, mix: [Kernel; 3], seed: u64, insts: u64, config: &MachineConfig) -> u64 {
         let key = MixKey { mix, seed, insts, config_digest: config.digest() };
-        if let Some(&hit) = self.mixes.lock().expect("mix cache").get(&key) {
+        if let Some(hit) = self.mixes.get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
@@ -740,12 +739,7 @@ impl Runner {
         let cycles = m.stats().cycles;
         self.unique_runs.fetch_add(1, Ordering::Relaxed);
         self.sim_cycles.fetch_add(cycles, Ordering::Relaxed);
-        *self
-            .mixes
-            .lock()
-            .expect("mix cache")
-            .entry(key)
-            .or_insert(cycles)
+        self.mixes.get_or_insert_with(key, || cycles)
     }
 
     /// Architectural misses summed over a mix's three threads (each

@@ -1,12 +1,17 @@
-//! Clean fixture: ordered containers, plus a justified unordered map.
+//! Clean fixture: ordered containers, a lock-sharded cache whose only
+//! multi-entry view is a sorted drain (no `lint:allow` needed — the rule
+//! never sees an unordered map), plus a justified probe-only map.
 
 use std::collections::BTreeMap;
+
+use smtx_util::ShardMap;
 
 // lint:allow(no-unordered-iteration): keyed probes only, never iterated.
 use smtx_util::FastHashMap;
 
 pub struct Cache {
     runs: BTreeMap<u64, u64>,
+    sims: ShardMap<u64, u64>,
     // lint:allow(no-unordered-iteration): probe-only MSHR-style table.
     inflight: FastHashMap<u64, u64>,
 }

@@ -328,7 +328,7 @@ impl Machine {
             Some(rec) => {
                 let linked = self
                     .window
-                    .get(&rec.exc_seq)
+                    .get(rec.exc_seq)
                     .is_some_and(|i| i.tid == rec.master && i.handler_tid == Some(handler_tid));
                 if !linked {
                     ck.record(CheckViolation {
@@ -417,7 +417,7 @@ impl Machine {
                         detail: format!("rob out of fetch order (seq {s} after {prev:?})"),
                     });
                 }
-                match self.window.get(&s) {
+                match self.window.get(s) {
                     None => out.push(CheckViolation {
                         rule: "rob-window-conservation",
                         cycle: now,
@@ -439,16 +439,16 @@ impl Machine {
         }
         // The wake-up list must stay a *superset* of the issuable set: an
         // issuable instruction absent from it would silently never issue.
-        // (Promoted from the old bare `debug_assert!`; sorted for a
-        // deterministic report order.)
-        let mut issuable: Vec<u64> = self
-            .window
-            .iter()
-            .filter(|(_, i)| !i.issued && !i.done && i.waiting_tlb.is_none() && i.srcs_ready())
-            .map(|(&s, _)| s)
-            .collect();
-        issuable.sort_unstable();
-        for s in issuable {
+        // (Promoted from the old bare `debug_assert!`.) The arena is
+        // scanned in slot order — heap-free on the clean path, which the
+        // per-cycle debug hook and the steady-state allocation test rely
+        // on — and any violations are sorted afterwards so the report
+        // order stays deterministic despite the layout-dependent scan.
+        let start = out.len();
+        for (s, flags) in self.window.iter_flags() {
+            if flags != crate::window::F_ISSUABLE {
+                continue;
+            }
             let staged = self.ready_seqs.contains(&s)
                 || self
                     .pending_issue
@@ -458,13 +458,14 @@ impl Machine {
                 out.push(CheckViolation {
                     rule: "wake-list-superset",
                     cycle: now,
-                    tid: Some(self.window[&s].tid),
+                    tid: Some(self.window.get(s).expect("issuable entry is live").tid),
                     seq: Some(s),
                     detail: "issuable instruction missing from ready_seqs/pending_issue"
                         .to_string(),
                 });
             }
         }
+        out[start..].sort_unstable_by_key(|v| v.seq);
         if !deep {
             return;
         }
@@ -512,7 +513,7 @@ impl Machine {
             for (class, map) in classes {
                 for (idx, entry) in map.iter().enumerate() {
                     let Some(seq) = *entry else { continue };
-                    let ok = self.window.get(&seq).is_some_and(|i| {
+                    let ok = self.window.get(seq).is_some_and(|i| {
                         i.tid == tid && i.dest == Some((class, idx as u8))
                     });
                     if !ok {

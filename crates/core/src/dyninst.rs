@@ -92,13 +92,6 @@ pub struct DynInst {
     /// The previous in-flight writer of `dest` at rename time (squash
     /// recovery restores the rename map to this).
     pub prev_writer: Option<u64>,
-    /// Earliest cycle the scheduler may pick this instruction (models the
-    /// schedule + register-read pipeline stages).
-    pub earliest_issue: u64,
-    /// Has been picked by the scheduler (execution started).
-    pub issued: bool,
-    /// Execution finished; `result` is valid.
-    pub done: bool,
     /// The computed result (dest value; stores: the store data; branches:
     /// the link value if any).
     pub result: u64,
@@ -124,9 +117,11 @@ pub struct DynInst {
 impl DynInst {
     /// Builds the window entry for a front-end instruction, with operands
     /// still unrenamed (the machine fills `srcs`/`prev_writer` during
-    /// rename).
+    /// rename). Scheduler state (`earliest_issue` and the issued / done
+    /// bits) lives in the window arena's SoA arrays, not here — see
+    /// [`crate::window::Window`].
     #[must_use]
-    pub fn from_frontend(fe: &FrontEndInst, tid: usize, earliest_issue: u64) -> DynInst {
+    pub fn from_frontend(fe: &FrontEndInst, tid: usize) -> DynInst {
         DynInst {
             seq: fe.seq,
             tid,
@@ -136,9 +131,6 @@ impl DynInst {
             srcs: [SrcState::Value(0), SrcState::Value(0)],
             dest: None,
             prev_writer: None,
-            earliest_issue,
-            issued: false,
-            done: false,
             result: 0,
             pred: fe.pred,
             taken: false,
@@ -290,7 +282,7 @@ mod tests {
             pred: None,
             ready_at: 0,
         };
-        let mut di = DynInst::from_frontend(&fe, 0, 5);
+        let mut di = DynInst::from_frontend(&fe, 0);
         assert!(di.srcs_ready());
         di.srcs[0] = SrcState::Waiting { producer: 7 };
         assert!(!di.srcs_ready());

@@ -53,6 +53,7 @@ mod refmodel;
 mod stats;
 mod thread;
 pub mod trace;
+pub mod window;
 
 pub use check::{CheckConfig, CheckViolation};
 pub use checkpoint::{Checkpoint, ThreadCheckpoint};

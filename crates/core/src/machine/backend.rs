@@ -10,6 +10,7 @@ use crate::exec;
 use crate::machine::Machine;
 use crate::thread::ThreadState;
 use crate::trace::{SquashCause, TraceEvent};
+use crate::window::{F_DONE, F_ISSUABLE, F_ISSUED};
 
 /// Per-cycle execution-resource budget (paper Table 1 pools).
 struct FuBudget {
@@ -118,16 +119,21 @@ impl Machine {
             // Re-validate: earlier candidates may have squashed this one or
             // resolved state may have changed.
             let retain = 'v: {
-                let Some(inst) = self.window.get(&seq) else { break 'v false };
-                if inst.issued || inst.done || inst.waiting_tlb.is_some() || !inst.srcs_ready() {
+                // The SoA flag/earliest pair answers eligibility without
+                // touching the full instruction record.
+                let Some((flags, earliest)) = self.window.issue_state(seq) else {
+                    break 'v false;
+                };
+                if flags != F_ISSUABLE {
                     break 'v false;
                 }
-                if inst.earliest_issue > now {
+                if earliest > now {
                     break 'v true; // eligible in a future cycle
                 }
                 if !self.issue_ready(seq) {
                     break 'v true; // blocked on ordering, not wake-ups
                 }
+                let inst = self.window.get(seq).expect("issuable entry is live");
                 let tid = inst.tid;
                 let op = inst.inst.op;
                 let handler_free = self.config.limits.free_execute_bandwidth
@@ -139,10 +145,8 @@ impl Machine {
                 // Execution can return the instruction to the window still
                 // eligible (DIVU emulation with no idle context, a trap
                 // refused on a non-running thread): keep it retrying.
-                match self.window.get(&seq) {
-                    Some(i) => {
-                        !i.issued && !i.done && i.waiting_tlb.is_none() && i.srcs_ready()
-                    }
+                match self.window.issue_state(seq) {
+                    Some((f, _)) => f == F_ISSUABLE,
                     None => false,
                 }
             };
@@ -167,7 +171,7 @@ impl Machine {
     /// and PAL serialization (`RFE`/`HARDEXC` execute only once all older
     /// instructions of the thread are done).
     fn issue_ready(&self, seq: u64) -> bool {
-        let inst = &self.window[&seq];
+        let inst = self.window.get(seq).expect("issue candidate is live");
         let t = &self.threads[inst.tid];
         match inst.inst.op {
             op if op.is_load() => {
@@ -175,7 +179,7 @@ impl Machine {
                     if s >= seq {
                         break;
                     }
-                    if self.window[&s].mem_vaddr.is_none() {
+                    if self.window.get(s).expect("queued store is live").mem_vaddr.is_none() {
                         return false;
                     }
                 }
@@ -186,20 +190,18 @@ impl Machine {
             // once every older instruction of the thread has resolved —
             // in particular after any older mispredicted branch would have
             // squashed them.
-            Op::Rfe | Op::Hardexc | Op::Mtdst => t
-                .rob
-                .iter()
-                .take_while(|&&s| s < seq)
-                .all(|s| self.window[s].done),
+            Op::Rfe | Op::Hardexc | Op::Mtdst => {
+                t.rob.iter().take_while(|&&s| s < seq).all(|&s| self.window.is_done(s))
+            }
             _ => true,
         }
     }
 
     fn execute_one(&mut self, seq: u64, now: u64) {
         self.stats.issued += 1;
+        self.window.set_issued(seq);
         let (tid, op, pc, pal, v0, v1, imm) = {
-            let i = self.window.get_mut(&seq).expect("candidate revalidated");
-            i.issued = true;
+            let i = self.window.get(seq).expect("candidate revalidated");
             // Unused operand slots hold Value(0), so these reads are total.
             (i.tid, i.inst.op, i.pc, i.pal, i.src_value(0), i.src_value(1), i.inst.imm)
         };
@@ -213,7 +215,7 @@ impl Machine {
             // instruction returns to the window not-ready and a handler
             // thread computes the quotient.
             Divu if self.config.emulate_divu && !pal => {
-                self.window.get_mut(&seq).expect("present").issued = false;
+                self.window.clear_issued(seq);
                 self.dispatch_emulation(seq, tid, v0, v1, now);
             }
             // ---- integer & FP computation ----
@@ -239,7 +241,7 @@ impl Machine {
             }
             Rfe => {
                 // Result is the return PC (from pr_exc_pc).
-                let i = self.window.get_mut(&seq).expect("present");
+                let i = self.window.get_mut(seq).expect("present");
                 i.actual_next = v0;
                 self.finish_exec(seq, v0, now, 1);
             }
@@ -252,20 +254,20 @@ impl Machine {
                 } else {
                     pc.wrapping_add(4)
                 };
-                let i = self.window.get_mut(&seq).expect("present");
+                let i = self.window.get_mut(seq).expect("present");
                 i.taken = taken;
                 i.actual_next = target;
                 self.finish_exec(seq, 0, now, 1);
             }
             Br | Jal => {
                 let target = exec::direct_target(pc, imm);
-                let i = self.window.get_mut(&seq).expect("present");
+                let i = self.window.get_mut(seq).expect("present");
                 i.taken = true;
                 i.actual_next = target;
                 self.finish_exec(seq, pc.wrapping_add(4), now, 1);
             }
             Jr | Jalr | Ret => {
-                let i = self.window.get_mut(&seq).expect("present");
+                let i = self.window.get_mut(seq).expect("present");
                 i.taken = true;
                 i.actual_next = v0;
                 self.finish_exec(seq, pc.wrapping_add(4), now, 1);
@@ -279,7 +281,7 @@ impl Machine {
 
     /// Records the result and schedules the completion event.
     fn finish_exec(&mut self, seq: u64, result: u64, now: u64, latency: u64) {
-        let i = self.window.get_mut(&seq).expect("executing instruction present");
+        let i = self.window.get_mut(seq).expect("executing instruction present");
         i.result = result;
         self.events.push(Reverse((now + latency, seq)));
     }
@@ -307,7 +309,7 @@ impl Machine {
 
     fn execute_load(&mut self, seq: u64, tid: usize, pal: bool, base: u64, imm: i32, now: u64) {
         let va = exec::align8(exec::effective_addr(base, imm));
-        self.window.get_mut(&seq).expect("present").mem_vaddr = Some(va);
+        self.window.get_mut(seq).expect("present").mem_vaddr = Some(va);
         let pa = match self.translate(tid, pal, va) {
             Xlate::Hit(pa) => pa,
             Xlate::Fault => {
@@ -318,12 +320,12 @@ impl Machine {
             Xlate::Miss => {
                 // The faulting instruction returns to the window not-ready
                 // (paper §4.1) and the mechanism-specific dispatch runs.
-                self.window.get_mut(&seq).expect("present").issued = false;
+                self.window.clear_issued(seq);
                 self.dispatch_tlb_miss(seq, tid, va, now);
                 return;
             }
         };
-        self.window.get_mut(&seq).expect("present").mem_paddr = Some(pa);
+        self.window.get_mut(seq).expect("present").mem_paddr = Some(pa);
 
         // Store-to-load forwarding from the same thread's store queue
         // (youngest older store with a matching address wins).
@@ -333,7 +335,7 @@ impl Machine {
             .rev()
             .filter(|&&s| s < seq)
             .find_map(|&s| {
-                let st = &self.window[&s];
+                let st = self.window.get(s).expect("queued store is live");
                 (st.mem_vaddr == Some(va)).then_some(st.result)
             });
         let (value, latency) = match fwd {
@@ -348,7 +350,7 @@ impl Machine {
 
     fn execute_store(&mut self, seq: u64, tid: usize, pal: bool, imm: i32, now: u64) {
         let (base, data) = {
-            let i = &self.window[&seq];
+            let i = self.window.get(seq).expect("present");
             (i.src_value(0), i.src_value(1))
         };
         let va = exec::align8(exec::effective_addr(base, imm));
@@ -356,7 +358,7 @@ impl Machine {
             Xlate::Hit(pa) => Some(pa),
             Xlate::Fault => None,
             Xlate::Miss => {
-                self.window.get_mut(&seq).expect("present").issued = false;
+                self.window.clear_issued(seq);
                 // Record the address so younger loads stop blocking on this
                 // store only once it truly executes; keep it None while the
                 // fill is pending to stay conservative.
@@ -368,7 +370,7 @@ impl Machine {
             // Write-allocate probe at execute; data commits at retirement.
             let _ = self.memsys.access_data(pa, now);
         }
-        let i = self.window.get_mut(&seq).expect("present");
+        let i = self.window.get_mut(seq).expect("present");
         i.mem_vaddr = Some(va);
         i.mem_paddr = pa;
         i.result = data;
@@ -380,42 +382,62 @@ impl Machine {
     // ================================================================
 
     pub(crate) fn process_completions(&mut self, now: u64) {
+        // Pass 1: drain every event due this cycle, drop stale ones (the
+        // slot probe rejects seqs that were squashed and refetched), and
+        // mark the survivors done up front. Batching the writebacks lets
+        // pass 2 apply all consumer wake-ups in one pop-ordered sweep.
+        let mut batch = std::mem::take(&mut self.completion_scratch);
+        batch.clear();
         while let Some(&Reverse((cycle, _))) = self.events.peek() {
             if cycle > now {
                 break;
             }
             let Reverse((_, seq)) = self.events.pop().expect("just peeked");
-            self.complete_inst(seq, now);
+            let Some((flags, _)) = self.window.issue_state(seq) else { continue };
+            if flags & F_DONE != 0 || flags & F_ISSUED == 0 {
+                continue; // stale event (instruction was squashed and refetched)
+            }
+            self.window.mark_done(seq);
+            batch.push(seq);
         }
+        // Pass 2: writeback, consumer wake-ups and op-specific actions, in
+        // the same pop order as the one-at-a-time loop this replaces. An
+        // action can squash a later batch member (mispredict, escalation),
+        // so each is re-validated on sight — a squashed seq emits nothing,
+        // exactly as before.
+        for &seq in &batch {
+            if self.window.contains(seq) {
+                self.finish_completion(seq, now);
+            }
+        }
+        batch.clear();
+        self.completion_scratch = batch;
     }
 
-    fn complete_inst(&mut self, seq: u64, now: u64) {
-        let Some(inst) = self.window.get_mut(&seq) else { return };
-        if inst.done || !inst.issued {
-            return; // stale event (instruction was squashed and refetched)
-        }
-        inst.done = true;
-        let tid = inst.tid;
-        let op = inst.inst.op;
-        let result = inst.result;
-        let pred = inst.pred;
-        let actual_next = inst.actual_next;
+    /// Writeback, consumer wake-up and op-specific completion actions for
+    /// one instruction already marked done by pass 1.
+    fn finish_completion(&mut self, seq: u64, now: u64) {
+        let (tid, op, result, pred, actual_next) = {
+            let i = self.window.get(seq).expect("validated by caller");
+            (i.tid, i.inst.op, i.result, i.pred, i.actual_next)
+        };
         if self.tracer.is_some() {
             self.emit(TraceEvent::Writeback { cycle: now, tid: tid as u64, seq });
         }
 
         // Wake consumers; one whose last operand just resolved enters the
-        // issue scheduler's wake-up list.
-        if let Some(consumers) = self.consumers.remove(&seq) {
-            for (c, slot) in consumers {
-                if let Some(ci) = self.window.get_mut(&c) {
-                    ci.srcs[slot] = crate::dyninst::SrcState::Value(result);
-                    if ci.srcs_ready() {
-                        self.ready_seqs.push(c);
-                    }
-                }
+        // issue scheduler's wake-up list. The wake list lives in the
+        // producer's window slot and drains through a reusable scratch
+        // buffer, so this path never allocates.
+        let mut wakes = std::mem::take(&mut self.consumer_scratch);
+        self.window.take_consumers_into(seq, &mut wakes);
+        for &(c, slot) in &wakes {
+            if self.window.resolve_src(c, slot as usize, result) == Some(true) {
+                self.ready_seqs.push(c);
             }
         }
+        wakes.clear();
+        self.consumer_scratch = wakes;
 
         match op {
             Op::Tlbwr => self.complete_tlbwr(seq, now),
@@ -463,7 +485,7 @@ impl Machine {
 
     fn resolve_branch(&mut self, seq: u64, now: u64) {
         let (tid, pal, pred, taken, actual_next) = {
-            let i = &self.window[&seq];
+            let i = self.window.get(seq).expect("resolving a live branch");
             (i.tid, i.pal, i.pred, i.taken, i.actual_next)
         };
         // Cold indirect (or RFE-style) redirect: fetch was stalled waiting
@@ -518,7 +540,7 @@ impl Machine {
 
     fn complete_tlbwr(&mut self, seq: u64, _now: u64) {
         let (tid, va, pteval) = {
-            let i = &self.window[&seq];
+            let i = self.window.get(seq).expect("completing tlbwr is live");
             (i.tid, i.src_value(0), i.src_value(1))
         };
         let pte = Pte(pteval);
@@ -533,19 +555,20 @@ impl Machine {
         self.dtlb.insert(asid, vpn, pte.frame(), Some(tag));
         // Record the tag so retirement can commit the fill (traditional
         // handlers have no ActiveHandler record by then).
-        self.window.get_mut(&seq).expect("present").result = tag;
+        self.window.get_mut(seq).expect("present").result = tag;
         self.wake_waiters((asid, vpn));
     }
 
     pub(crate) fn wake_waiters(&mut self, key: (smtx_mem::Asid, u64)) {
-        if let Some(ws) = self.waiters.remove(&key) {
-            for w in ws {
-                if let Some(i) = self.window.get_mut(&w) {
-                    i.waiting_tlb = None;
-                    self.ready_seqs.push(w);
-                }
+        let mut ws = std::mem::take(&mut self.waiter_scratch);
+        self.waiters.take_into(key, &mut ws);
+        for &w in &ws {
+            if self.window.clear_waiting(w) {
+                self.ready_seqs.push(w);
             }
         }
+        ws.clear();
+        self.waiter_scratch = ws;
     }
 
     // ================================================================
@@ -576,8 +599,8 @@ impl Machine {
             return false;
         }
         let Some(&head) = t.rob.front() else { return false };
-        let inst = &self.window[&head];
-        if !inst.done {
+        let inst = self.window.get(head).expect("rob head is live");
+        if !self.window.is_done(head) {
             return false;
         }
         // The excepting instruction retires only after its handler has
@@ -596,7 +619,7 @@ impl Machine {
 
     fn retire_one(&mut self, tid: usize, now: u64) {
         let seq = self.threads[tid].rob.pop_front().expect("head checked");
-        let inst = self.window.remove(&seq).expect("head in window");
+        let inst = self.window.remove(seq).expect("head in window");
         if let Some(log) = &mut self.retire_log {
             log.push(crate::machine::RetireEvent { tid, seq, pc: inst.pc, pal: inst.pal });
         }

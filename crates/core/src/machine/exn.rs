@@ -23,7 +23,7 @@ impl Machine {
         let vpn = va >> PAGE_SHIFT;
         let key = (asid, vpn);
         {
-            let i = self.window.get_mut(&seq).expect("faulting instruction present");
+            let i = self.window.get_mut(seq).expect("faulting instruction present");
             i.caused_tlb_miss = true;
         }
 
@@ -35,15 +35,13 @@ impl Machine {
                 // (paper §4.5).
                 let old_seq = self.handlers[idx].exc_seq;
                 let handler_tid = self.handlers[idx].handler_tid;
-                if let Some(old) = self.window.get_mut(&old_seq) {
+                if let Some(old) = self.window.get_mut(old_seq) {
                     old.handler_tid = None;
                 }
-                self.waiters.entry(key).or_default().push(old_seq);
-                if let Some(old) = self.window.get_mut(&old_seq) {
-                    old.waiting_tlb = Some(key);
-                }
+                self.waiters.push(key, old_seq);
+                self.window.set_waiting(old_seq, key);
                 self.handlers[idx].exc_seq = seq;
-                self.window.get_mut(&seq).expect("present").handler_tid = Some(handler_tid);
+                self.window.get_mut(seq).expect("present").handler_tid = Some(handler_tid);
                 self.stats.relinks += 1;
                 if self.tracer.is_some() {
                     self.emit(TraceEvent::Raise {
@@ -84,7 +82,7 @@ impl Machine {
             return;
         }
 
-        let pc = self.window[&seq].pc;
+        let pc = self.window.get(seq).expect("faulting instruction present").pc;
         if self.tracer.is_some() {
             self.emit(TraceEvent::Raise {
                 cycle: now,
@@ -116,8 +114,9 @@ impl Machine {
     }
 
     fn park_on_fill(&mut self, seq: u64, key: (smtx_mem::Asid, u64)) {
-        self.waiters.entry(key).or_default().push(seq);
-        self.window.get_mut(&seq).expect("present").waiting_tlb = Some(key);
+        self.waiters.push(key, seq);
+        let live = self.window.set_waiting(seq, key);
+        debug_assert!(live, "parking a live instruction");
     }
 
     /// The traditional mechanism (paper Fig. 1a): squash from the excepting
@@ -225,7 +224,7 @@ impl Machine {
                 exc_seq: seq,
             });
         }
-        self.window.get_mut(&seq).expect("present").handler_tid = Some(handler_tid);
+        self.window.get_mut(seq).expect("present").handler_tid = Some(handler_tid);
         self.park_on_fill(seq, key);
         if self.checker.is_some() {
             self.check_handler_spawn(handler_tid, now);
@@ -259,7 +258,7 @@ impl Machine {
             return; // retry next cycle
         };
         self.stats.emulations_spawned += 1;
-        let pc = self.window[&seq].pc;
+        let pc = self.window.get(seq).expect("emulated instruction present").pc;
         let key = (smtx_mem::Asid::MAX, seq); // unique, never a real (asid, vpn)
         let emul_base = self.emul_base;
         let master_asid = self.threads[master].asid;
@@ -298,7 +297,7 @@ impl Machine {
                 exc_seq: seq,
             });
         }
-        self.window.get_mut(&seq).expect("present").handler_tid = Some(handler_tid);
+        self.window.get_mut(seq).expect("present").handler_tid = Some(handler_tid);
         self.park_on_fill(seq, key);
         if self.checker.is_some() {
             self.check_handler_spawn(handler_tid, now);
@@ -317,14 +316,14 @@ impl Machine {
     pub(crate) fn write_excepting_dest(&mut self, handler_tid: usize, value: u64, now: u64) {
         let Some(rec) = self.handler_record(handler_tid) else { return };
         let (exc_seq, key) = (rec.exc_seq, rec.key);
-        if let Some(exc) = self.window.get_mut(&exc_seq) {
-            exc.result = value;
-            exc.issued = true;
-            exc.waiting_tlb = None;
+        if self.window.contains(exc_seq) {
+            self.window.get_mut(exc_seq).expect("just probed").result = value;
+            self.window.set_issued(exc_seq);
+            self.window.clear_waiting(exc_seq);
             self.events.push(std::cmp::Reverse((now + 1, exc_seq)));
         }
         // Drop the park entry so nothing re-wakes it spuriously.
-        self.waiters.remove(&key);
+        self.waiters.remove(key);
     }
 
     /// Quick-start (paper §5.4): the handler was prefetched into the idle
@@ -428,12 +427,9 @@ impl Machine {
         });
         for w in finished {
             let pte = Pte(self.pm.read_u64(w.pte_paddr));
-            let fault_alive = self.window.contains_key(&w.fault_seq);
+            let fault_alive = self.window.contains(w.fault_seq);
             let any_alive = fault_alive
-                || self
-                    .waiters
-                    .get(&w.key)
-                    .is_some_and(|ws| ws.iter().any(|s| self.window.contains_key(s)));
+                || self.waiters.iter_key(w.key).any(|s| self.window.contains(s));
             if pte.is_valid() && any_alive {
                 self.dtlb.insert(w.key.0, w.key.1, pte.frame(), None);
                 self.stats.fills_committed += 1;
@@ -443,7 +439,7 @@ impl Machine {
                 // OS's (traditional) handler.
                 if fault_alive {
                     let (va, pc) = {
-                        let i = &self.window[&w.fault_seq];
+                        let i = self.window.get(w.fault_seq).expect("fault checked alive");
                         (i.mem_vaddr.unwrap_or(w.key.1 << PAGE_SHIFT), i.pc)
                     };
                     if self.tracer.is_some() {
@@ -471,9 +467,9 @@ impl Machine {
         let Some(rec) = self.handler_record(handler_tid).cloned() else { return };
         self.stats.hard_exceptions += 1;
         self.release_handler(handler_tid, false);
-        if self.window.contains_key(&rec.exc_seq) {
+        if self.window.contains(rec.exc_seq) {
             let (va, pc) = {
-                let i = &self.window[&rec.exc_seq];
+                let i = self.window.get(rec.exc_seq).expect("just probed");
                 (i.mem_vaddr.unwrap_or(rec.key.1 << PAGE_SHIFT), i.pc)
             };
             if self.tracer.is_some() {

@@ -310,7 +310,7 @@ impl Machine {
                 return false;
             }
             let (victim_pc, victim_pal) = {
-                let v = &self.window[&victim];
+                let v = self.window.get(victim).expect("rob tail is live");
                 (v.pc, v.pal)
             };
             if self.tracer.is_some() {
@@ -353,7 +353,7 @@ impl Machine {
     /// Renames and inserts with an explicit issue-eligibility cycle (the
     /// instant-fetch limit study injects handlers directly).
     pub(crate) fn insert_window_at(&mut self, tid: usize, fe: &FrontEndInst, earliest_issue: u64) {
-        let mut di = DynInst::from_frontend(fe, tid, earliest_issue);
+        let mut di = DynInst::from_frontend(fe, tid);
         let (srcs, dest) = operands(&fe.inst, fe.pal);
         for (slot, src) in srcs.iter().enumerate() {
             use crate::dyninst::RegClass;
@@ -365,11 +365,11 @@ impl Machine {
                 continue;
             }
             match self.threads[tid].rmap(class, idx) {
-                Some(producer) => match self.window.get(&producer) {
-                    Some(p) if p.done => di.srcs[slot] = SrcState::Value(p.result),
-                    Some(_) => {
+                Some(producer) => match self.window.producer_state(producer) {
+                    Some((true, result)) => di.srcs[slot] = SrcState::Value(result),
+                    Some((false, _)) => {
                         di.srcs[slot] = SrcState::Waiting { producer };
-                        self.consumers.entry(producer).or_default().push((fe.seq, slot));
+                        self.window.add_consumer(producer, fe.seq, slot);
                     }
                     None => {
                         // The map should have been cleared at retirement.
@@ -402,7 +402,7 @@ impl Machine {
         if di.srcs_ready() {
             self.pending_issue.push(std::cmp::Reverse((earliest_issue, fe.seq)));
         }
-        self.window.insert(fe.seq, di);
+        self.window.insert(di, earliest_issue);
         if self.tracer.is_some() {
             self.emit(TraceEvent::Rename {
                 cycle: self.cycle,

@@ -14,17 +14,15 @@ use std::collections::BinaryHeap;
 use std::cmp::Reverse;
 
 use smtx_isa::Program;
-// lint:allow(no-unordered-iteration): every map below documents why its
-// iteration order never reaches simulated behavior.
-use smtx_util::FastHashMap;
 use smtx_mem::{AddressSpace, Asid, MemorySystem, PhysAlloc, PhysMem, Tlb, PAGE_SIZE};
 
 use crate::check::Checker;
 use crate::config::MachineConfig;
-use crate::dyninst::{DynInst, PredInfo};
+use crate::dyninst::PredInfo;
 use crate::stats::Stats;
 use crate::thread::{ThreadContext, ThreadState};
 use crate::trace::{SquashCause, TraceEvent, TraceSink};
+use crate::window::{WaiterMap, Window, F_ISSUABLE};
 
 /// What an active handler is servicing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,26 +89,24 @@ pub struct Machine {
     pub(crate) dtlb: Tlb,
     pub(crate) threads: Vec<ThreadContext>,
     pub(crate) spaces: Vec<AddressSpace>,
-    /// The centralized instruction window, keyed by sequence number. A hash
-    /// map, not an ordered map: every per-seq probe is O(1), and the one
-    /// consumer that needs fetch order (the issue scan) sorts its candidate
-    /// list, so simulated behavior is identical to an ordered walk.
-    // lint:allow(no-unordered-iteration): probes are keyed; the issue scan
-    // sorts its candidates, so map order never affects results.
-    pub(crate) window: FastHashMap<u64, DynInst>,
+    /// The centralized instruction window: a slot-arena ring keyed by the
+    /// monotone fetch sequence, with scheduler-scanned state split into
+    /// dense SoA arrays and per-producer consumer lists stored in the
+    /// producer's slot (see [`crate::window::Window`]). Every per-seq
+    /// probe validates the slot's full sequence number, so stale wake
+    /// entries are dropped on sight exactly as the old hash-map probe did;
+    /// the one consumer that needs fetch order (the issue scan) sorts its
+    /// candidate list, so arena layout never reaches simulated behavior.
+    pub(crate) window: Window,
     /// Handler-thread instructions currently in the window (for the
     /// free-window limit knob).
     pub(crate) handler_insts_in_window: usize,
-    /// producer seq → (consumer seq, operand slot).
-    // lint:allow(no-unordered-iteration): only keyed entry/remove probes;
-    // the per-producer Vec preserves rename order.
-    pub(crate) consumers: FastHashMap<u64, Vec<(u64, usize)>>,
     /// Completion events: (cycle, seq).
     pub(crate) events: BinaryHeap<Reverse<(u64, u64)>>,
-    /// Loads/stores waiting on a TLB fill, by (asid, vpn).
-    // lint:allow(no-unordered-iteration): only keyed probes and a debug
-    // dump; wake order comes from the per-key Vec, not map order.
-    pub(crate) waiters: FastHashMap<(Asid, u64), Vec<u64>>,
+    /// Loads/stores waiting on a TLB fill, by (asid, vpn): a short linear
+    /// map with pooled waiter lists; wake order comes from the per-key
+    /// list, deterministic by construction.
+    pub(crate) waiters: WaiterMap,
     pub(crate) handlers: Vec<ActiveHandler>,
     pub(crate) walks: Vec<Walk>,
     pub(crate) pal_base: u64,
@@ -145,6 +141,13 @@ pub struct Machine {
     pub(crate) pending_issue: BinaryHeap<Reverse<(u64, u64)>>,
     /// Reused per-cycle scratch for the decode-order thread list.
     pub(crate) scratch_order: Vec<usize>,
+    /// Reused per-cycle scratch: sequence numbers completed in pass 1 of
+    /// the batched completion phase (side effects applied in pass 2).
+    pub(crate) completion_scratch: Vec<u64>,
+    /// Reused scratch for draining a producer's consumer wake list.
+    pub(crate) consumer_scratch: Vec<(u64, u32)>,
+    /// Reused scratch for draining a TLB fill's waiter list.
+    pub(crate) waiter_scratch: Vec<u64>,
     /// The `--check` pipeline sanitizer (off by default; see
     /// [`Machine::set_check`]). Like `idle_skip`, deliberately *not* part
     /// of [`MachineConfig`]: checking is observation-only and must not
@@ -182,6 +185,10 @@ impl Machine {
     pub fn new(config: MachineConfig) -> Machine {
         let threads = (0..config.threads).map(|_| ThreadContext::new()).collect();
         let stats = Stats::new(config.threads);
+        // The ring starts several times larger than the architectural
+        // window so sequence numbers of stalled-vs-running threads rarely
+        // collide modulo the capacity (a collision just grows the ring).
+        let window = Window::with_capacity((config.window.max(1) * 8).max(1024));
         Machine {
             memsys: MemorySystem::new(config.mem),
             dtlb: Tlb::new(config.dtlb_entries),
@@ -193,11 +200,10 @@ impl Machine {
             pm: PhysMem::new(),
             alloc: PhysAlloc::new(),
             spaces: Vec::new(),
-            window: FastHashMap::default(),
+            window,
             handler_insts_in_window: 0,
-            consumers: FastHashMap::default(),
             events: BinaryHeap::new(),
-            waiters: FastHashMap::default(),
+            waiters: WaiterMap::new(),
             handlers: Vec::new(),
             walks: Vec::new(),
             pal_base: 0,
@@ -210,6 +216,9 @@ impl Machine {
             ready_seqs: Vec::new(),
             pending_issue: BinaryHeap::new(),
             scratch_order: Vec::new(),
+            completion_scratch: Vec::new(),
+            consumer_scratch: Vec::new(),
+            waiter_scratch: Vec::new(),
             checker: None,
             tracer: None,
         }
@@ -607,12 +616,12 @@ impl Machine {
             wake = wake.min(at);
         }
         for &seq in &self.ready_seqs {
-            let Some(i) = self.window.get(&seq) else { continue };
-            if !i.issued && !i.done && i.waiting_tlb.is_none() && i.srcs_ready() {
-                if i.earliest_issue <= now {
+            let Some((flags, earliest)) = self.window.issue_state(seq) else { continue };
+            if flags == F_ISSUABLE {
+                if earliest <= now {
                     return None;
                 }
-                wake = wake.min(i.earliest_issue);
+                wake = wake.min(earliest);
             }
         }
 
@@ -712,18 +721,17 @@ impl Machine {
                 break;
             }
             self.threads[tid].rob.pop_back();
-            let inst = self.window.remove(&back).expect("rob entry in window");
+            let inst = self.window.remove(back).expect("rob entry in window");
             if self.threads[tid].is_handler() {
                 self.handler_insts_in_window -= 1;
             }
             note_pred(&inst.pred, inst.seq, &mut oldest);
             if let Some((class, idx)) = inst.dest {
                 if self.threads[tid].rmap(class, idx) == Some(back) {
-                    let prev = inst.prev_writer.filter(|p| self.window.contains_key(p));
+                    let prev = inst.prev_writer.filter(|&p| self.window.contains(p));
                     self.threads[tid].set_rmap(class, idx, prev);
                 }
             }
-            self.consumers.remove(&back);
             if inst.inst.op.is_store() {
                 self.threads[tid].store_queue.retain(|&s| s != back);
             }
@@ -774,16 +782,9 @@ impl Machine {
         // *after* the handler's TLBWR woke the original waiters (possible
         // when the freshly filled entry is evicted again before the
         // instruction re-executes) would otherwise sleep forever.
-        if let Some(ws) = self.waiters.remove(&rec.key) {
-            for w in ws {
-                if let Some(i) = self.window.get_mut(&w) {
-                    i.waiting_tlb = None;
-                    self.ready_seqs.push(w);
-                }
-            }
-        }
+        self.wake_waiters(rec.key);
         // Unlink from the excepting instruction (if still alive).
-        if let Some(inst) = self.window.get_mut(&rec.exc_seq) {
+        if let Some(inst) = self.window.get_mut(rec.exc_seq) {
             if inst.handler_tid == Some(handler_tid) {
                 inst.handler_tid = None;
             }
@@ -850,18 +851,19 @@ impl Machine {
                 t.rob.len()
             );
             for &seq in t.rob.iter().take(6) {
-                let i = &self.window[&seq];
+                let i = self.window.get(seq).expect("rob entry in window");
+                let (flags, earliest) = self.window.issue_state(seq).expect("live");
                 let _ = writeln!(
                     s,
                     "  seq {seq} {} pc={:#x} issued={} done={} wait_tlb={:?} handler={:?} srcs_ready={} earliest={}",
                     i.inst,
                     i.pc,
-                    i.issued,
-                    i.done,
+                    flags & crate::window::F_ISSUED != 0,
+                    flags & crate::window::F_DONE != 0,
                     i.waiting_tlb,
                     i.handler_tid,
                     i.srcs_ready(),
-                    i.earliest_issue
+                    earliest
                 );
             }
         }
@@ -876,6 +878,7 @@ impl Machine {
             let _ = writeln!(s, "walk key={:?} fault={} done={:?}", w.key, w.fault_seq, w.done_at);
         }
         let _ = writeln!(s, "waiters: {:?}", self.waiters.keys().collect::<Vec<_>>());
+        let _ = writeln!(s, "ring capacity {}", self.window.capacity());
         s
     }
 }

@@ -1,0 +1,119 @@
+//! Steady-state allocation freedom of the fetch→retire path.
+//!
+//! The slot-arena window recycles its slots, consumer lists keep their
+//! spill capacity across occupants, the waiter map pools its lists, and
+//! the completion/wake scratch vectors are `mem::take`n and returned — so
+//! once the machine has warmed up (ring sized, scratch capacities grown,
+//! TLB warm), running further cycles must not touch the heap at all. A
+//! counting global allocator proves it: the allocation count across a
+//! measured window of cycles is exactly zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smtx_core::{ExnMechanism, Machine, MachineConfig, ThreadState};
+use smtx_isa::{PrivReg, Program, ProgramBuilder, Reg};
+use smtx_mem::PAGE_SIZE;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter is a relaxed
+// atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const DATA_BASE: u64 = 0x2000_0000;
+
+/// The canonical software TLB-miss handler (same routine the behavioural
+/// suite installs).
+fn pal_handler() -> Program {
+    let mut b = ProgramBuilder::with_base(0);
+    b.mfpr(Reg(1), PrivReg::FaultVa);
+    b.mfpr(Reg(2), PrivReg::PtBase);
+    b.srli(Reg(3), Reg(1), 13);
+    b.slli(Reg(3), Reg(3), 3);
+    b.add(Reg(3), Reg(3), Reg(2));
+    b.ldq(Reg(4), Reg(3), 0);
+    b.andi(Reg(5), Reg(4), 1);
+    b.beq(Reg(5), "fault");
+    b.tlbwr(Reg(1), Reg(4));
+    b.rfe();
+    b.label("fault");
+    b.hardexc();
+    b.rfe();
+    b.build().expect("handler assembles")
+}
+
+/// An endless loop striding loads/stores over `pages` pages with a branchy
+/// inner loop — every pipeline phase (fetch, rename, issue, memory,
+/// branch resolution, retire) stays busy forever.
+fn endless_strider(pages: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg(10), DATA_BASE);
+    b.li(Reg(11), pages * PAGE_SIZE);
+    b.label("rep");
+    b.li(Reg(12), 0);
+    b.li(Reg(13), 0);
+    b.label("loop");
+    b.add(Reg(1), Reg(10), Reg(12));
+    b.ldq(Reg(2), Reg(1), 0);
+    b.add(Reg(13), Reg(13), Reg(2));
+    b.stq(Reg(13), Reg(1), 8);
+    b.addi(Reg(12), Reg(12), 1024);
+    b.sub(Reg(3), Reg(12), Reg(11));
+    b.blt(Reg(3), "loop");
+    b.br("rep");
+    b.build().expect("assembles")
+}
+
+#[test]
+fn steady_state_cycles_do_not_allocate() {
+    let mut config = MachineConfig::paper_baseline(ExnMechanism::Multithreaded);
+    config.threads = 2;
+    let mut m = Machine::new(config);
+    m.install_pal_handler(&pal_handler());
+    let program = endless_strider(4);
+    let space = m.attach_program(0, &program);
+    let (sp, pm, alloc) = m.vm_parts(space);
+    sp.map_region(pm, alloc, DATA_BASE, 4);
+    for i in 0..4u64 {
+        for off in (0..PAGE_SIZE).step_by(1024) {
+            sp.write_u64(pm, DATA_BASE + i * PAGE_SIZE + off, i * 31 + off).expect("mapped");
+        }
+    }
+
+    // Warm-up: cold TLB misses spawn handlers, the ring and every scratch
+    // vector grow to steady capacity, branch structures settle.
+    m.run(60_000);
+    assert_eq!(m.thread_state(0), ThreadState::Run, "strider must still be running");
+
+    let before_retired = m.stats().retired(0);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    m.run(40_000);
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    let retired = m.stats().retired(0) - before_retired;
+
+    assert!(retired > 10_000, "measured window must do real work (retired {retired})");
+    assert_eq!(
+        delta, 0,
+        "fetch→retire steady state must not allocate ({delta} allocations over {retired} retires)"
+    );
+}

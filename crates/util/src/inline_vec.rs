@@ -1,0 +1,107 @@
+//! A small-vector with retained spill capacity, for per-slot lists that
+//! are rebuilt constantly on the simulator's hot path.
+//!
+//! The first `N` elements live inline (no heap); pushes beyond `N` go to a
+//! spill `Vec` whose capacity survives [`InlineVec::clear`], so a recycled
+//! slot (the instruction-window arena reuses slots as sequences retire)
+//! reaches steady state with **zero per-push allocations** even for lists
+//! that occasionally exceed the inline capacity.
+
+/// A vector with `N` inline slots and an allocation-recycling spill.
+#[derive(Debug, Clone)]
+pub struct InlineVec<T, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty list (no heap allocation).
+    #[must_use]
+    pub fn new() -> InlineVec<T, N> {
+        InlineVec { inline: [T::default(); N], len: 0, spill: Vec::new() }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, v: T) {
+        if self.len < N {
+            self.inline[self.len] = v;
+        } else {
+            self.spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Empties the list. The spill allocation is retained, so a recycled
+    /// list never re-allocates for the lengths it has already seen.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Iterates the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.inline[..self.len.min(N)].iter().chain(self.spill.iter())
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_then_spill_preserves_order() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 10);
+        let got: Vec<u64> = v.iter().copied().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_retains_spill_capacity() {
+        let mut v: InlineVec<u64, 2> = InlineVec::new();
+        for i in 0..100 {
+            v.push(i);
+        }
+        let cap = v.spill.capacity();
+        assert!(cap >= 98);
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.spill.capacity(), cap);
+        for i in 0..50 {
+            v.push(i);
+        }
+        assert_eq!(v.iter().count(), 50);
+        assert_eq!(v.spill.capacity(), cap);
+    }
+
+    #[test]
+    fn short_lists_never_touch_the_heap() {
+        let mut v: InlineVec<(u64, u32), 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push((i, i as u32));
+        }
+        assert_eq!(v.spill.capacity(), 0);
+    }
+}

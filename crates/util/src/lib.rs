@@ -16,6 +16,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod inline_vec;
+mod shard;
+
+pub use inline_vec::InlineVec;
+pub use shard::{ShardBuildHasher, ShardMap};
+
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

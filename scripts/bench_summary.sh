@@ -23,7 +23,16 @@
 # the previous PR in BENCH_fig5.json (the perf trajectory), falling back to
 # pr1_path on the current build when no recording exists.
 #
-# Usage: scripts/bench_summary.sh [--insts N] [--skip N] [--detailed N] [--jobs N]
+# Every run records under an explicit PR number (--pr N, required): history
+# entries carry the PR that produced them, not their position in the list,
+# so PRs that skip a measurement do not shift later labels. Re-running
+# within the same PR replaces that PR's entry instead of appending. Each
+# entry is labeled with the engine algorithm that PR ran (--algo overrides
+# the default, which describes the current engine); entries whose speedup
+# drops below 1.0 are flagged "regression": true, and the top-level
+# best_wall_ms field tracks the fastest recording across the history.
+#
+# Usage: scripts/bench_summary.sh --pr N [--algo LABEL] [--insts N] [--skip N] [--detailed N] [--jobs N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,15 +40,24 @@ INSTS=100000
 SKIP=80000
 DETAILED=20000
 JOBS=0
+PR=""
+ALGO="slot-arena SoA window + batched wake lists + lock-sharded caches, on the two-tier engine"
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --insts) INSTS="$2"; shift 2 ;;
         --skip) SKIP="$2"; shift 2 ;;
         --detailed) DETAILED="$2"; shift 2 ;;
         --jobs) JOBS="$2"; shift 2 ;;
-        *) echo "usage: $0 [--insts N] [--skip N] [--detailed N] [--jobs N]" >&2; exit 2 ;;
+        --pr) PR="$2"; shift 2 ;;
+        --algo) ALGO="$2"; shift 2 ;;
+        *) echo "usage: $0 --pr N [--algo LABEL] [--insts N] [--skip N] [--detailed N] [--jobs N]" >&2; exit 2 ;;
     esac
 done
+if [[ -z "$PR" ]]; then
+    echo "error: --pr N is required (the PR number this recording belongs to)" >&2
+    echo "usage: $0 --pr N [--algo LABEL] [--insts N] [--skip N] [--detailed N] [--jobs N]" >&2
+    exit 2
+fi
 
 cargo build --release -p smtx-bench
 
@@ -87,11 +105,12 @@ ms FIG7_PR1 ./target/release/fig7 --insts "$INSTS" --jobs "$JOBS" --checkpoint o
 ms FIG7_MS ./target/release/fig7 --insts "$DETAILED" --skip "$SKIP" --jobs "$JOBS" --json "$TMP/fig7.json"
 echo "fig7: pr1 path ${FIG7_PR1} ms, two tier (--insts $DETAILED --skip $SKIP) ${FIG7_MS} ms"
 
-python3 - "$TMP" "$PR1_MS" "$IDLE_MS" "$TWO_MS" "$FIG2_MS" "$FIG7_MS" "$FIG2_PR1" "$FIG7_PR1" "$CHECK_MS" <<'PY'
+python3 - "$TMP" "$PR1_MS" "$IDLE_MS" "$TWO_MS" "$FIG2_MS" "$FIG7_MS" "$FIG2_PR1" "$FIG7_PR1" "$CHECK_MS" "$PR" "$ALGO" <<'PY'
 import json, os, sys
 
 tmp = sys.argv[1]
-pr1_ms, idle_ms, two_ms, fig2_ms, fig7_ms, fig2_pr1, fig7_pr1, check_ms = map(int, sys.argv[2:10])
+pr1_ms, idle_ms, two_ms, fig2_ms, fig7_ms, fig2_pr1, fig7_pr1, check_ms, pr = map(int, sys.argv[2:11])
+algo = sys.argv[11]
 
 def load(path):
     return json.load(open(path)) if os.path.exists(path) else None
@@ -99,9 +118,14 @@ def load(path):
 def record(name, report, wall_ms, modes, algorithm, pr1_path_ms):
     """Write BENCH_<name>.json, carrying forward the perf trajectory.
 
-    The speedup baseline is the previous PR's recorded wall time; a figure
+    Each history entry is keyed by the PR that recorded it (explicit --pr,
+    never positional), labeled with that PR's engine algorithm. The speedup
+    baseline is the latest earlier PR's recorded wall time; a figure
     measured for the first time compares against the PR 1 algorithm
-    (checkpointing and skipping off) timed on the current build.
+    (checkpointing and skipping off) timed on the current build. A re-run
+    within one PR replaces that PR's entry. Entries slower than their
+    baseline carry "regression": true, and best_wall_ms tracks the fastest
+    wall time across the whole history.
     """
     out = f"BENCH_{name}.json"
     prev = load(out)
@@ -115,28 +139,33 @@ def record(name, report, wall_ms, modes, algorithm, pr1_path_ms):
             "algorithm": "memoizing parallel runner (PR 1)",
             "speedup": prev.get("speedup"),
         }]
+    history = [h for h in history if h.get("pr") != pr]
     baseline_ms = history[-1]["wall_ms"] if history else pr1_path_ms
     speedup = round(baseline_ms / max(wall_ms, 1), 2)
-    history.append({
-        "pr": len(history) + 1,
+    entry = {
+        "pr": pr,
         "wall_ms": wall_ms,
         "algorithm": algorithm,
         "speedup": speedup,
-    })
+    }
+    if speedup < 1.0:
+        entry["regression"] = True
+    history.append(entry)
     report["modes"] = modes
     report["history"] = history
     report["speedup"] = speedup
+    report["best_wall_ms"] = min(h["wall_ms"] for h in history)
     json.dump(report, open(out, "w"), indent=2)
     open(out, "a").write("\n")
-    print(f"{out}: {wall_ms} ms, {speedup}x vs previous recording ({baseline_ms} ms)")
+    note = " REGRESSION" if speedup < 1.0 else ""
+    print(f"{out}: PR {pr}: {wall_ms} ms, {speedup}x vs previous recording ({baseline_ms} ms){note}")
 
-ALGO = "two-tier engine: functional fast-forward + idle-cycle skipping + wake-list scheduler"
 record("fig5", load(f"{tmp}/fig5.json"), two_ms,
        {"pr1_path_ms": pr1_ms, "idle_skip_ms": idle_ms, "two_tier_ms": two_ms,
         "two_tier_check_ms": check_ms},
-       ALGO, pr1_ms)
+       algo, pr1_ms)
 record("fig2", load(f"{tmp}/fig2.json"), fig2_ms,
-       {"pr1_path_ms": fig2_pr1, "two_tier_ms": fig2_ms}, ALGO, fig2_pr1)
+       {"pr1_path_ms": fig2_pr1, "two_tier_ms": fig2_ms}, algo, fig2_pr1)
 record("fig7", load(f"{tmp}/fig7.json"), fig7_ms,
-       {"pr1_path_ms": fig7_pr1, "two_tier_ms": fig7_ms}, ALGO, fig7_pr1)
+       {"pr1_path_ms": fig7_pr1, "two_tier_ms": fig7_ms}, algo, fig7_pr1)
 PY
