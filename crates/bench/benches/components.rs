@@ -12,7 +12,7 @@ use smtx_bench::micro::bench;
 use smtx_branch::BranchUnit;
 use smtx_core::dyninst::{DynInst, FrontEndInst, SrcState};
 use smtx_core::window::Window;
-use smtx_core::{ExnMechanism, Machine, MachineConfig};
+use smtx_core::{Checkpoint, ExnMechanism, Machine, MachineConfig};
 use smtx_isa::{Inst, Op};
 use smtx_mem::{MemorySystem, Tlb};
 use smtx_util::{FastHashMap, ShardMap};
@@ -92,6 +92,42 @@ fn bench_step_cycle() {
             m.step_cycle();
         }
         m.stats().cycles
+    });
+}
+
+/// Checkpoint mechanics in isolation: one capture at a 20k-instruction
+/// boundary, a restore into a fresh machine, and a four-boundary series
+/// capture. `checkpoint/series_capture_4` against 4× `capture_20k` is the
+/// measured win of sweeping the interpreter once instead of once per
+/// boundary — the pre-pass the interval-parallel engine leans on.
+fn checkpoint_ops() {
+    bench("checkpoint/capture_20k", || {
+        let config = MachineConfig::paper_baseline(ExnMechanism::Multithreaded).with_threads(2);
+        let mut m = Machine::new(config);
+        load_kernel(&mut m, 0, Kernel::Murphi, 42);
+        let ck = Checkpoint::capture(&m, 20_000).expect("capture");
+        ck.approx_bytes()
+    });
+    bench("checkpoint/restore_20k", || {
+        let config = MachineConfig::paper_baseline(ExnMechanism::Multithreaded).with_threads(2);
+        let mut m = Machine::new(config.clone());
+        load_kernel(&mut m, 0, Kernel::Murphi, 42);
+        let ck = Checkpoint::capture(&m, 20_000).expect("capture");
+        let mut total = 0u64;
+        for _ in 0..8 {
+            let mut fresh = Machine::new(config.clone());
+            fresh.restore(&ck);
+            total += fresh.stats().retired(0);
+        }
+        total
+    });
+    bench("checkpoint/series_capture_4x20k", || {
+        let config = MachineConfig::paper_baseline(ExnMechanism::Multithreaded).with_threads(2);
+        let mut m = Machine::new(config);
+        load_kernel(&mut m, 0, Kernel::Murphi, 42);
+        let series = Checkpoint::capture_series(&m, &[20_000, 40_000, 60_000, 80_000])
+            .expect("series captures");
+        series.iter().map(Checkpoint::approx_bytes).sum::<u64>()
     });
 }
 
@@ -280,6 +316,7 @@ fn main() {
     window_wake_chain();
     window_issue_probe();
     cache_lookup();
+    checkpoint_ops();
     interpreter_throughput();
     pipeline_throughput();
     bench_step_cycle();

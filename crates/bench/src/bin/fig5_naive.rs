@@ -10,8 +10,8 @@
 
 use smtx_bench::runner::perfect_of;
 use smtx_bench::{
-    config_with_idle, header, insts_for, make_checkpoint, parse_args, penalty_per_miss,
-    probe_insts, row, run_restored, scale_budget,
+    config_with_idle, epoch_len, header, insts_for, make_checkpoint, parse_args,
+    penalty_per_miss, probe_insts, row, run_restored, scale_budget,
 };
 use smtx_core::ExnMechanism;
 use smtx_workloads::Kernel;
@@ -44,7 +44,11 @@ fn main() {
             // same skip — the rows can only match if the budgets do.
             let probe = probe_insts(args.insts);
             let ck = make_checkpoint(k, args.seed, args.skip);
-            scale_budget(ck.arch_misses_in_window(0, probe), probe, args.insts)
+            scale_budget(
+                ck.arch_misses_in_window(0, probe, Some(epoch_len(probe))),
+                probe,
+                args.insts,
+            )
         };
         let cells: Vec<f64> = configs
             .iter()

@@ -27,6 +27,9 @@ pub struct Report {
     pub checkpoint: bool,
     /// Whether tier-2 idle-cycle skipping was enabled.
     pub idle_skip: bool,
+    /// Interval-parallel chunk count (1 = monolithic). Scheduling only —
+    /// the rows are identical for every value.
+    pub intervals: u64,
     /// Whether the `--check` pipeline sanitizer was enabled.
     pub check: bool,
     /// Wall-clock for the whole experiment.
@@ -72,6 +75,7 @@ impl Report {
         s.push_str(&format!("  \"skip\": {},\n", self.skip));
         s.push_str(&format!("  \"checkpoint\": {},\n", self.checkpoint));
         s.push_str(&format!("  \"idle_skip\": {},\n", self.idle_skip));
+        s.push_str(&format!("  \"intervals\": {},\n", self.intervals.max(1)));
         s.push_str(&format!("  \"check\": {},\n", self.check));
         s.push_str(&format!("  \"wall_ms\": {},\n", json_f64(self.wall.as_secs_f64() * 1e3)));
         s.push_str(&runner_stats_json(&self.runner, 2));
@@ -137,11 +141,10 @@ impl Report {
 #[must_use]
 pub fn runner_stats_json(stats: &RunnerStats, indent: usize) -> String {
     let pad = " ".repeat(indent);
-    let mut s = format!(
-        "{pad}\"unique_runs\": {},\n{pad}\"cache_hits\": {},\n\
-         {pad}\"checkpoint_hits\": {},\n{pad}\"sim_cycles\": {},\n",
-        stats.unique_runs, stats.cache_hits, stats.checkpoint_hits, stats.sim_cycles
-    );
+    let mut s = String::new();
+    for (name, value) in runner_stats_fields(stats) {
+        s.push_str(&format!("{pad}\"{name}\": {value},\n"));
+    }
     for (name, buckets) in runner_hist_fields(stats) {
         s.push_str(&format!("{pad}\"{name}\": {},\n", hist_json(&buckets)));
     }
@@ -172,12 +175,13 @@ fn hist_json(buckets: &[u64; 8]) -> String {
 /// order — the plaintext `/metrics` endpoint renders these, so it exposes
 /// exactly the fields [`runner_stats_json`] writes.
 #[must_use]
-pub fn runner_stats_fields(stats: &RunnerStats) -> [(&'static str, u64); 4] {
+pub fn runner_stats_fields(stats: &RunnerStats) -> [(&'static str, u64); 5] {
     [
         ("unique_runs", stats.unique_runs),
         ("cache_hits", stats.cache_hits),
         ("checkpoint_hits", stats.checkpoint_hits),
         ("sim_cycles", stats.sim_cycles),
+        ("checkpoint_bytes", stats.checkpoint_bytes),
     ]
 }
 
@@ -229,6 +233,7 @@ mod tests {
             cache_hits: 22,
             checkpoint_hits: 33,
             sim_cycles: 44,
+            checkpoint_bytes: 66,
             checkpoint_ms_hist: [1, 2, 3, 4, 5, 6, 7, 8],
             sim_ms_hist: [8, 7, 6, 5, 4, 3, 2, 1],
             ref_ms_hist: [0, 0, 9, 0, 0, 0, 0, 1],

@@ -14,6 +14,7 @@
 //! [`Stats`] whether it is computed serially, in parallel, or served from
 //! the cache — `tests/runner_determinism.rs` holds that gate.
 
+use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -21,14 +22,21 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use smtx_core::{CheckConfig, Checkpoint, ExnMechanism, Machine, MachineConfig, TraceEvent, VecSink};
+use smtx_core::{
+    CheckConfig, Checkpoint, ExnMechanism, Machine, MachineConfig, Stats, TraceEvent, VecSink,
+};
 use smtx_trace::codec;
 use smtx_util::ShardMap;
-use smtx_workloads::{kernel_reference, load_kernel, Kernel};
+use smtx_workloads::{load_kernel, Kernel};
 
 use crate::{
-    cycle_cap, make_checkpoint, make_mix_checkpoint, probe_insts, scale_budget, RunResult,
+    cycle_cap, epoch_len, make_checkpoint, make_checkpoint_series, make_mix_checkpoint,
+    plan_boundaries, probe_insts, run_interval_chunk, scale_budget, RunResult,
 };
+
+/// One simulated chunk: its instruction count, its stats, and — when the
+/// run was traced — its raw event segment.
+type ChunkResult = (u64, Stats, Option<Vec<TraceEvent>>);
 
 /// Identity of one unique simulation: everything that influences the
 /// resulting [`smtx_core::Stats`].
@@ -135,6 +143,12 @@ enum CkKey {
 /// unbounded.
 pub const HIST_BOUNDS_MS: [u64; 7] = [1, 4, 16, 64, 256, 1024, 4096];
 
+/// Default cap on the approximate resident bytes of cached fast-forward
+/// checkpoints (1 GiB). Interval-parallel runs multiply the checkpoint
+/// count by the boundary count, so the cache is LRU-bounded by size
+/// instead of growing with every boundary ever captured.
+pub const DEFAULT_CHECKPOINT_CAP_BYTES: u64 = 1 << 30;
+
 /// Cache-effectiveness counters (all monotonic).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunnerStats {
@@ -146,6 +160,10 @@ pub struct RunnerStats {
     pub checkpoint_hits: u64,
     /// Machine cycles simulated across all unique runs.
     pub sim_cycles: u64,
+    /// Approximate resident bytes of the checkpoints currently cached
+    /// (sum of per-entry estimates frozen at insertion; LRU-evicted past
+    /// the configured cap). Not monotonic, unlike the counters above.
+    pub checkpoint_bytes: u64,
     /// Wall-time histogram of checkpoint builds (bucket upper bounds in
     /// [`HIST_BOUNDS_MS`], last bucket unbounded).
     pub checkpoint_ms_hist: [u64; 8],
@@ -181,6 +199,13 @@ pub struct Runner {
     /// Observation-only (rows stay bit-identical) but any violation panics
     /// the run — a checked experiment must be clean or die loudly.
     check: bool,
+    /// Interval-parallel chunk count for single-kernel runs
+    /// (`--intervals`): the measurement window is cut at epoch-aligned
+    /// boundaries and the chunks simulated concurrently from their
+    /// boundary checkpoints. A pure scheduling knob — it enters no cache
+    /// key and no config digest, and the merged stats are bit-identical
+    /// for every value (CI diffs the rows).
+    intervals: u64,
     // Lock-sharded hash maps: workers hash-select one of 16 shard locks,
     // so concurrent lookups rarely collide, and lookups clone the value
     // out so no lock is held across caller work. `no-unordered-iteration`
@@ -190,6 +215,11 @@ pub struct Runner {
     refs: ShardMap<(Kernel, u64, u64), u64>,
     mixes: ShardMap<MixKey, u64>,
     checkpoints: ShardMap<CkKey, Arc<Checkpoint>>,
+    /// Insertion/touch order and frozen size estimate of every cached
+    /// checkpoint; the front is evicted while `ck_bytes` exceeds the cap.
+    ck_lru: Mutex<VecDeque<(CkKey, u64)>>,
+    ck_bytes: AtomicU64,
+    ck_cap_bytes: u64,
     unique_runs: AtomicU64,
     cache_hits: AtomicU64,
     ck_hits: AtomicU64,
@@ -243,10 +273,14 @@ impl Runner {
             use_checkpoints: true,
             idle_skip: true,
             check: false,
+            intervals: 1,
             sims: ShardMap::new(HIST_BOUNDS_MS),
             refs: ShardMap::new(HIST_BOUNDS_MS),
             mixes: ShardMap::new(HIST_BOUNDS_MS),
             checkpoints: ShardMap::new(HIST_BOUNDS_MS),
+            ck_lru: Mutex::new(VecDeque::new()),
+            ck_bytes: AtomicU64::new(0),
+            ck_cap_bytes: DEFAULT_CHECKPOINT_CAP_BYTES,
             unique_runs: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             ck_hits: AtomicU64::new(0),
@@ -282,6 +316,22 @@ impl Runner {
         self
     }
 
+    /// Sets the interval-parallel chunk count for single-kernel runs
+    /// (`--intervals`, clamped to at least 1). Mix runs are never cut.
+    #[must_use]
+    pub fn with_intervals(mut self, intervals: u64) -> Runner {
+        self.intervals = intervals.max(1);
+        self
+    }
+
+    /// Caps the approximate resident bytes of cached checkpoints
+    /// (least-recently-used entries are evicted past the cap).
+    #[must_use]
+    pub fn with_checkpoint_cap_bytes(mut self, bytes: u64) -> Runner {
+        self.ck_cap_bytes = bytes;
+        self
+    }
+
     /// The configured parallelism degree.
     #[must_use]
     pub fn jobs(&self) -> usize {
@@ -304,6 +354,12 @@ impl Runner {
     #[must_use]
     pub fn idle_skip(&self) -> bool {
         self.idle_skip
+    }
+
+    /// The configured interval-parallel chunk count.
+    #[must_use]
+    pub fn intervals(&self) -> u64 {
+        self.intervals
     }
 
     /// Sets (or clears) the binary trace capture destination (`--trace
@@ -344,6 +400,7 @@ impl Runner {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             checkpoint_hits: self.ck_hits.load(Ordering::Relaxed),
             sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
+            checkpoint_bytes: self.ck_bytes.load(Ordering::Relaxed),
             checkpoint_ms_hist: load_hist(&self.ck_ms),
             sim_ms_hist: load_hist(&self.sim_ms),
             ref_ms_hist: load_hist(&self.ref_ms),
@@ -368,8 +425,19 @@ impl Runner {
     /// Panics if the trace file cannot be written — a requested trace that
     /// silently vanishes would be worse than a dead experiment.
     fn append_trace(&self, marker: TraceEvent, m: &mut Machine) {
+        if self.trace_path.is_none() {
+            return;
+        }
+        let events = m.take_tracer().expect("tracer was attached").take_events();
+        self.append_segment(marker, events);
+    }
+
+    /// Appends one already-collected event segment (prefixed with
+    /// `marker`) to the trace file. Interval-parallel runs call this once
+    /// per chunk, in chunk order, so a cut run's segments are stitched in
+    /// the order the monolithic run would have produced them.
+    fn append_segment(&self, marker: TraceEvent, mut events: Vec<TraceEvent>) {
         let Some(path) = &self.trace_path else { return };
-        let mut events = m.take_tracer().expect("tracer was attached").take_events();
         events.insert(0, marker);
         let body = codec::encode_body(&events);
         let mut guard = self.trace_file.lock().expect("trace file");
@@ -436,6 +504,30 @@ impl Runner {
                     }
                 };
             });
+            // Interval runs also need each boundary's checkpoint; one
+            // series sweep per (kernel, seed, schedule) beforehand stops
+            // concurrent sims of the same workload racing to duplicate it.
+            if self.intervals > 1 {
+                let mut specs = Vec::new();
+                let mut spec_seen = std::collections::BTreeSet::new();
+                for job in &pending {
+                    if let Job::Sim { kernel, seed, insts, .. } = job {
+                        let bounds: Vec<u64> =
+                            plan_boundaries(*insts, self.intervals, epoch_len(*insts))
+                                .into_iter()
+                                .map(|b| self.skip + b)
+                                .collect();
+                        if !bounds.is_empty() && spec_seen.insert((*kernel, *seed, bounds.clone()))
+                        {
+                            specs.push((*kernel, *seed, bounds));
+                        }
+                    }
+                }
+                self.for_each_parallel(specs.len(), |i| {
+                    let (kernel, seed, bounds) = &specs[i];
+                    let _ = self.checkpoint_series(*kernel, *seed, bounds);
+                });
+            }
         }
         self.for_each_parallel(pending.len(), |i| self.execute(&pending[i]));
     }
@@ -484,6 +576,7 @@ impl Runner {
         if self.use_checkpoints {
             if let Some(hit) = self.checkpoints.get(&key) {
                 self.ck_hits.fetch_add(1, Ordering::Relaxed);
+                self.touch_checkpoint(&key);
                 return hit;
             }
         }
@@ -495,7 +588,81 @@ impl Runner {
         if !self.use_checkpoints {
             return ck;
         }
-        self.checkpoints.get_or_insert_with(key, || Arc::clone(&ck))
+        self.cache_checkpoint(key, ck)
+    }
+
+    /// The (possibly cached) boundary-checkpoint series of an
+    /// interval-parallel run: one entry per absolute fast-forward length in
+    /// `bounds` (strictly ascending, all positive). A full hit returns
+    /// without touching the interpreter; any miss re-captures the whole
+    /// series in one functional sweep and caches every boundary
+    /// individually — under the same key shape as ordinary `--skip`
+    /// checkpoints, so a later monolithic run at a boundary's skip reuses a
+    /// series entry and vice versa.
+    fn checkpoint_series(&self, kernel: Kernel, seed: u64, bounds: &[u64]) -> Vec<Arc<Checkpoint>> {
+        let keys: Vec<CkKey> = bounds.iter().map(|&b| CkKey::Single(kernel, seed, b)).collect();
+        if self.use_checkpoints {
+            let hits: Option<Vec<Arc<Checkpoint>>> =
+                keys.iter().map(|k| self.checkpoints.get(k)).collect();
+            if let Some(hits) = hits {
+                self.ck_hits.fetch_add(keys.len() as u64, Ordering::Relaxed);
+                for k in &keys {
+                    self.touch_checkpoint(k);
+                }
+                return hits;
+            }
+        }
+        let t0 = Instant::now();
+        let series = make_checkpoint_series(kernel, seed, bounds);
+        record_ms(&self.ck_ms, t0);
+        let arcs: Vec<Arc<Checkpoint>> = series.into_iter().map(Arc::new).collect();
+        if !self.use_checkpoints {
+            return arcs;
+        }
+        keys.into_iter()
+            .zip(&arcs)
+            .map(|(key, ck)| self.cache_checkpoint(key, Arc::clone(ck)))
+            .collect()
+    }
+
+    /// Inserts `ck` under `key` (first writer wins), charging its frozen
+    /// size estimate to the cache and evicting least-recently-used entries
+    /// while the cap is exceeded. Returns the cached value.
+    fn cache_checkpoint(&self, key: CkKey, ck: Arc<Checkpoint>) -> Arc<Checkpoint> {
+        let mut inserted = false;
+        let out = self.checkpoints.get_or_insert_with(key, || {
+            inserted = true;
+            Arc::clone(&ck)
+        });
+        if !inserted {
+            return out;
+        }
+        let bytes = out.approx_bytes();
+        self.ck_bytes.fetch_add(bytes, Ordering::Relaxed);
+        let mut lru = self.ck_lru.lock().expect("checkpoint lru");
+        lru.push_back((key, bytes));
+        while self.ck_bytes.load(Ordering::Relaxed) > self.ck_cap_bytes && lru.len() > 1 {
+            let (old, old_bytes) = lru.pop_front().expect("lru is non-empty");
+            if old == key {
+                // Never evict the entry just inserted — its caller is
+                // about to use it; put it back and stop.
+                lru.push_back((old, old_bytes));
+                break;
+            }
+            if self.checkpoints.remove(&old).is_some() {
+                self.ck_bytes.fetch_sub(old_bytes, Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Moves `key` to the back of the LRU order on a cache hit.
+    fn touch_checkpoint(&self, key: &CkKey) {
+        let mut lru = self.ck_lru.lock().expect("checkpoint lru");
+        if let Some(pos) = lru.iter().position(|(k, _)| k == key) {
+            let entry = lru.remove(pos).expect("position is in range");
+            lru.push_back(entry);
+        }
     }
 
     /// Panics with the collected violation reports if a checked machine
@@ -535,14 +702,31 @@ impl Runner {
         }
     }
 
-    /// Memoized [`crate::run_kernel`]: runs `kernel` under `config`,
-    /// serving repeats of the same [`RunKey`] from the cache.
+    /// Memoized [`crate::run_kernel`]: runs `kernel` under `config` with
+    /// the runner's configured interval count, serving repeats of the same
+    /// [`RunKey`] from the cache.
     pub fn run(
         &self,
         kernel: Kernel,
         seed: u64,
         insts: u64,
         config: &MachineConfig,
+    ) -> Arc<RunResult> {
+        self.run_with_intervals(kernel, seed, insts, config, self.intervals)
+    }
+
+    /// [`Runner::run`] with an explicit interval count. `intervals` is a
+    /// pure scheduling knob: it is not part of the [`RunKey`], and the
+    /// merged stats are bit-identical for every value, so a cached
+    /// monolithic result legitimately serves an interval request and vice
+    /// versa (CI's interval-exactness matrix holds that gate).
+    pub fn run_with_intervals(
+        &self,
+        kernel: Kernel,
+        seed: u64,
+        insts: u64,
+        config: &MachineConfig,
+        intervals: u64,
     ) -> Arc<RunResult> {
         let key = RunKey { kernel, seed, insts, config_digest: config.digest() };
         // The probe clones the Arc out and drops its shard lock before
@@ -555,35 +739,27 @@ impl Runner {
         // Compute outside the lock; a concurrent duplicate (only possible
         // when callers race past prefetch) wastes work but, the simulator
         // being deterministic, never changes the cached value.
-        let mut m = Machine::new(config.clone());
-        m.set_idle_skip(self.idle_skip);
-        if self.check {
-            m.set_check(Some(CheckConfig::default()));
+        let segments =
+            self.simulate_chunks(kernel, seed, insts, config, intervals, self.trace_path.is_some());
+        let mut merged: Option<Stats> = None;
+        for (chunk_insts, stats, events) in segments {
+            if let Some(events) = events {
+                self.append_segment(
+                    TraceEvent::RunStart {
+                        kernel: kernel_code(kernel),
+                        seed,
+                        insts: chunk_insts,
+                        digest: key.config_digest,
+                    },
+                    events,
+                );
+            }
+            match &mut merged {
+                Some(acc) => acc.merge(&stats),
+                None => merged = Some(stats),
+            }
         }
-        if self.trace_path.is_some() {
-            m.set_tracer(Some(Box::new(VecSink::default())));
-        }
-        if self.skip == 0 && !self.use_checkpoints {
-            load_kernel(&mut m, 0, kernel, seed);
-        } else {
-            let ck = self.checkpoint_single(kernel, seed);
-            m.restore(&ck);
-        }
-        m.set_budget(0, insts);
-        let t0 = Instant::now();
-        m.run(cycle_cap(insts));
-        record_ms(&self.sim_ms, t0);
-        self.append_trace(
-            TraceEvent::RunStart {
-                kernel: kernel_code(kernel),
-                seed,
-                insts,
-                digest: key.config_digest,
-            },
-            &mut m,
-        );
-        self.assert_check_clean(&m, &format!("{} seed {seed}", kernel.name()));
-        let stats = m.stats().clone();
+        let stats = merged.expect("the window has at least one chunk");
         assert_eq!(stats.retired(0), insts, "{} did not finish", kernel.name());
         let arch_misses = self.arch_misses(kernel, seed, insts);
         let result = Arc::new(RunResult {
@@ -595,6 +771,75 @@ impl Runner {
         self.unique_runs.fetch_add(1, Ordering::Relaxed);
         self.sim_cycles.fetch_add(result.cycles, Ordering::Relaxed);
         self.sims.get_or_insert_with(key, || Arc::clone(&result))
+    }
+
+    /// The chunked simulation engine behind every single-kernel run: cuts
+    /// the window at [`plan_boundaries`] (one chunk — the monolithic case —
+    /// when `intervals` is 1 or the window is shorter than one epoch),
+    /// simulates the chunks concurrently across the worker pool (each from
+    /// its boundary checkpoint, with the epoch schedule installed), and
+    /// returns each chunk's length, stats, and — when `trace` — its raw
+    /// event segment, in chunk order.
+    fn simulate_chunks(
+        &self,
+        kernel: Kernel,
+        seed: u64,
+        insts: u64,
+        config: &MachineConfig,
+        intervals: u64,
+        trace: bool,
+    ) -> Vec<ChunkResult> {
+        let epoch = epoch_len(insts);
+        let mut cuts = vec![0u64];
+        cuts.extend(plan_boundaries(insts, intervals, epoch));
+        cuts.push(insts);
+        let n = cuts.len() - 1;
+        let series = if n > 1 {
+            let abs: Vec<u64> = cuts[1..n].iter().map(|&c| self.skip + c).collect();
+            self.checkpoint_series(kernel, seed, &abs)
+        } else {
+            Vec::new()
+        };
+        let slots: Vec<Mutex<Option<ChunkResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let t0 = Instant::now();
+        self.for_each_parallel(n, |i| {
+            let chunk = cuts[i + 1] - cuts[i];
+            let mut m = Machine::new(config.clone());
+            m.set_idle_skip(self.idle_skip);
+            if self.check {
+                m.set_check(Some(CheckConfig::default()));
+            }
+            if trace {
+                m.set_tracer(Some(Box::new(VecSink::default())));
+            }
+            if i == 0 {
+                if self.skip == 0 && !self.use_checkpoints {
+                    load_kernel(&mut m, 0, kernel, seed);
+                } else {
+                    let ck = self.checkpoint_single(kernel, seed);
+                    m.restore(&ck);
+                }
+            } else {
+                m.restore(&series[i - 1]);
+            }
+            m.set_epoch_len(Some(epoch));
+            run_interval_chunk(&mut m, chunk, i == n - 1, cycle_cap(insts));
+            self.assert_check_clean(&m, &format!("{} seed {seed} chunk {i}", kernel.name()));
+            assert_eq!(
+                m.stats().retired(0),
+                chunk,
+                "{} chunk {i} did not finish",
+                kernel.name()
+            );
+            let events =
+                trace.then(|| m.take_tracer().expect("tracer attached above").take_events());
+            *slots[i].lock().expect("chunk slot") = Some((chunk, m.stats().clone(), events));
+        });
+        record_ms(&self.sim_ms, t0);
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("chunk slot").expect("chunk simulated"))
+            .collect()
     }
 
     /// Runs one kernel point with an in-memory tracer attached and returns
@@ -616,38 +861,48 @@ impl Runner {
         insts: u64,
         config: &MachineConfig,
     ) -> Vec<u8> {
-        let mut m = Machine::new(config.clone());
-        m.set_idle_skip(self.idle_skip);
-        if self.check {
-            m.set_check(Some(CheckConfig::default()));
-        }
-        m.set_tracer(Some(Box::new(VecSink::default())));
-        if self.skip == 0 && !self.use_checkpoints {
-            load_kernel(&mut m, 0, kernel, seed);
-        } else {
-            let ck = self.checkpoint_single(kernel, seed);
-            m.restore(&ck);
-        }
-        m.set_budget(0, insts);
-        let t0 = Instant::now();
-        m.run(cycle_cap(insts));
-        record_ms(&self.sim_ms, t0);
-        self.assert_check_clean(&m, &format!("{} seed {seed} (traced)", kernel.name()));
-        assert_eq!(m.stats().retired(0), insts, "{} did not finish", kernel.name());
-        let mut events = m.take_tracer().expect("tracer attached above").take_events();
-        events.insert(
-            0,
-            TraceEvent::RunStart {
-                kernel: kernel_code(kernel),
-                seed,
-                insts,
-                digest: config.digest(),
-            },
-        );
-        codec::encode(&events)
+        self.run_traced_with_intervals(kernel, seed, insts, config, self.intervals)
     }
 
-    /// Memoized [`crate::arch_misses`] (reference-interpreter DTLB misses).
+    /// [`Runner::run_traced`] with an explicit interval count: the encoded
+    /// file carries one `RunStart`-prefixed segment per chunk, stitched in
+    /// chunk order (a monolithic run is the familiar single-segment file).
+    #[must_use]
+    pub fn run_traced_with_intervals(
+        &self,
+        kernel: Kernel,
+        seed: u64,
+        insts: u64,
+        config: &MachineConfig,
+        intervals: u64,
+    ) -> Vec<u8> {
+        let segments = self.simulate_chunks(kernel, seed, insts, config, intervals, true);
+        let mut out = codec::MAGIC.to_vec();
+        let mut retired = 0u64;
+        for (chunk_insts, stats, events) in segments {
+            retired += stats.retired(0);
+            let mut events = events.expect("chunks were traced");
+            events.insert(
+                0,
+                TraceEvent::RunStart {
+                    kernel: kernel_code(kernel),
+                    seed,
+                    insts: chunk_insts,
+                    digest: config.digest(),
+                },
+            );
+            out.extend_from_slice(&codec::encode_body(&events));
+        }
+        assert_eq!(retired, insts, "{} did not finish", kernel.name());
+        out
+    }
+
+    /// Memoized [`crate::arch_misses`] (reference-interpreter DTLB misses,
+    /// counted under the [`epoch_len`] renewal schedule of an
+    /// `insts`-length window). Mix denominators share these entries: the
+    /// schedule only normalizes the per-miss metric, and the same
+    /// denominator serves every mechanism column, so rankings are
+    /// unaffected.
     pub fn arch_misses(&self, kernel: Kernel, seed: u64, insts: u64) -> u64 {
         let key = (kernel, seed, insts);
         if let Some(hit) = self.refs.get(&key) {
@@ -656,18 +911,17 @@ impl Runner {
         }
         let misses = if self.skip == 0 {
             let t0 = Instant::now();
-            let mut world = kernel_reference(kernel, seed);
-            world.run(insts);
-            let misses = world.interp.dtlb_misses();
+            let misses = crate::arch_misses(kernel, seed, insts);
             record_ms(&self.ref_ms, t0);
             misses
         } else {
             // Misses inside the measurement window: continue the functional
             // model from the checkpoint with a cold DTLB — matching the
-            // restored machine's cold microarchitectural TLB.
+            // restored machine's cold microarchitectural TLB — flushed on
+            // the window's epoch schedule like the detailed machine's.
             let ck = self.checkpoint_single(kernel, seed);
             let t0 = Instant::now();
-            let misses = ck.arch_misses_in_window(0, insts);
+            let misses = ck.arch_misses_in_window(0, insts, Some(epoch_len(insts)));
             record_ms(&self.ref_ms, t0);
             misses
         };

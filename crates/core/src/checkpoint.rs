@@ -128,10 +128,107 @@ impl Checkpoint {
         Ok(ck)
     }
 
+    /// Captures a *series* of checkpoints at ascending instruction
+    /// `boundaries` in one interpreter sweep: each thread is fast-forwarded
+    /// segment by segment, and the architectural state is snapshotted at
+    /// every boundary. Element `i` of the result is exactly what
+    /// [`Checkpoint::capture`] with `skip == boundaries[i]` produces (the
+    /// snapshots share copy-on-write memory pages, so the series costs one
+    /// sweep plus the pages that differ between boundaries) — this is the
+    /// interval-parallel engine's amortized pre-pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns the interpreter's [`RefError`] if a thread faults during the
+    /// fast-forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has already run, if `boundaries` is not
+    /// strictly ascending and positive, or if a thread halts before the
+    /// last boundary.
+    pub fn capture_series(
+        machine: &Machine,
+        boundaries: &[u64],
+    ) -> Result<Vec<Checkpoint>, RefError> {
+        assert_eq!(
+            machine.cycle, 0,
+            "capture requires a freshly loaded machine (cycle 0)"
+        );
+        assert!(
+            machine.window.is_empty() && machine.next_seq == 0,
+            "capture requires a machine with no in-flight instructions"
+        );
+        let mut pm = machine.pm.clone();
+        let mut spaces = machine.spaces.clone();
+        let mut interps: Vec<(usize, usize, Interpreter)> = machine
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == ThreadState::Run)
+            .map(|(tid, t)| {
+                let space = t.space.expect("running thread has a space");
+                (tid, space, Interpreter::from_state(t.fetch_pc, t.int_regs, t.fp_regs))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(boundaries.len());
+        let mut pos = 0u64;
+        for &b in boundaries {
+            assert!(b > pos, "series boundaries must be strictly ascending and positive");
+            let step = b - pos;
+            for (tid, space, interp) in &mut interps {
+                let summary = interp.run(&mut pm, &mut spaces[*space], step).map_err(|e| {
+                    eprintln!("series fast-forward failed on thread {tid}: {e}");
+                    e
+                })?;
+                assert_eq!(
+                    summary.retired, step,
+                    "thread {tid} halted before boundary {b}; cannot fast-forward"
+                );
+            }
+            pos = b;
+            out.push(Checkpoint {
+                skip: b,
+                pm: pm.clone(),
+                alloc: machine.alloc.clone(),
+                spaces: spaces.clone(),
+                pal_base: machine.pal_base,
+                pal_len: machine.pal_len,
+                emul_base: machine.emul_base,
+                emul_len: machine.emul_len,
+                threads: interps
+                    .iter()
+                    .map(|(tid, space, interp)| ThreadCheckpoint {
+                        tid: *tid,
+                        space: *space,
+                        pc: interp.pc(),
+                        int_regs: *interp.int_regs(),
+                        fp_regs: *interp.fp_regs(),
+                    })
+                    .collect(),
+            });
+        }
+        Ok(out)
+    }
+
     /// Instructions each thread was fast-forwarded by.
     #[must_use]
     pub fn skip(&self) -> u64 {
         self.skip
+    }
+
+    /// Approximate resident size of this checkpoint in bytes: pages of the
+    /// memory image not shared (copy-on-write) with another live image,
+    /// plus per-thread state and a fixed structural overhead. Used by the
+    /// runner's checkpoint-cache size accounting; the estimate is frozen at
+    /// insertion, so eviction bookkeeping stays exact even as sharing
+    /// changes afterwards.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        let owned = self.pm.resident_pages().saturating_sub(self.pm.shared_pages());
+        owned as u64 * smtx_mem::PAGE_SIZE
+            + self.threads.len() as u64 * std::mem::size_of::<ThreadCheckpoint>() as u64
+            + 4096
     }
 
     /// Per-thread architectural state at the checkpoint.
@@ -146,12 +243,18 @@ impl Checkpoint {
     /// metric measured from this checkpoint. Runs on a copy-on-write clone
     /// of the checkpoint's memory, leaving the checkpoint reusable.
     ///
+    /// `epoch` mirrors the detailed machine's epoch-reset schedule (see
+    /// `Machine::set_epoch_len`): the counting DTLB is flushed after every
+    /// `epoch` instructions of the window, so the miss denominator shares
+    /// the renewal semantics of the flushed detailed-model TLB. `None`
+    /// keeps the pre-epoch behavior (one cold TLB for the whole window).
+    ///
     /// # Panics
     ///
     /// Panics if `tid` is not a checkpointed thread, if the continuation
     /// faults, or if the thread halts early.
     #[must_use]
-    pub fn arch_misses_in_window(&self, tid: usize, insts: u64) -> u64 {
+    pub fn arch_misses_in_window(&self, tid: usize, insts: u64, epoch: Option<u64>) -> u64 {
         let tc = self
             .threads
             .iter()
@@ -160,13 +263,29 @@ impl Checkpoint {
         let mut pm = self.pm.clone();
         let mut space = self.spaces[tc.space].clone();
         let mut interp = Interpreter::from_state(tc.pc, tc.int_regs, tc.fp_regs);
-        let summary = interp
-            .run(&mut pm, &mut space, insts)
-            .expect("window continuation executes cleanly");
-        assert_eq!(
-            summary.retired, insts,
-            "thread {tid} halted inside the measurement window"
-        );
+        let mut pos = 0u64;
+        while pos < insts {
+            let step = match epoch {
+                Some(e) => (insts - pos).min(e - (pos % e)),
+                None => insts - pos,
+            };
+            let summary = interp
+                .run(&mut pm, &mut space, step)
+                .expect("window continuation executes cleanly");
+            assert_eq!(
+                summary.retired, step,
+                "thread {tid} halted inside the measurement window"
+            );
+            pos += step;
+            // The machine's budget freeze wins over the epoch reset on the
+            // final retirement, so no flush fires at `pos == insts` (and a
+            // trailing flush could not change the count anyway).
+            if let Some(e) = epoch {
+                if pos.is_multiple_of(e) && pos < insts {
+                    interp.flush_dtlb();
+                }
+            }
+        }
         interp.dtlb_misses()
     }
 }

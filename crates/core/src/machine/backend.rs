@@ -702,6 +702,15 @@ impl Machine {
             self.threads[tid].retired_pal += 1;
             self.stats.threads[tid].retired_pal += 1;
         } else {
+            // Track the committed architectural PC: where a functional
+            // checkpoint taken at this retirement boundary would resume. A
+            // retired control transfer's `actual_next` is always valid (set
+            // at execution, and instructions retire only once done).
+            self.threads[tid].arch_pc = if inst.inst.op.branch_kind().is_some() {
+                inst.actual_next
+            } else {
+                inst.pc.wrapping_add(4)
+            };
             self.threads[tid].retired_user += 1;
             self.stats.threads[tid].retired_user += 1;
             if let Some(budget) = self.threads[tid].budget {
@@ -709,6 +718,17 @@ impl Machine {
                     && self.threads[tid].state == ThreadState::Run
                 {
                     self.freeze_thread(tid, now);
+                }
+            }
+            // A budget freeze on the epoch boundary wins (the thread is no
+            // longer `Run`); otherwise every `epoch_len`-th user retirement
+            // of thread 0 resets the machine to checkpoint-equivalent state.
+            if let Some(e) = self.epoch_len {
+                if tid == 0
+                    && self.threads[tid].state == ThreadState::Run
+                    && self.threads[tid].retired_user.is_multiple_of(e)
+                {
+                    self.epoch_reset(now);
                 }
             }
         }

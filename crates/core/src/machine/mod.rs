@@ -148,6 +148,20 @@ pub struct Machine {
     pub(crate) consumer_scratch: Vec<(u64, u32)>,
     /// Reused scratch for draining a TLB fill's waiter list.
     pub(crate) waiter_scratch: Vec<u64>,
+    /// Deterministic epoch length in retired user instructions of thread 0
+    /// (`None` — the default — disables epochs). Every `epoch_len`-th user
+    /// retirement on thread 0 triggers [`Machine::epoch_reset`]: all
+    /// in-flight state is squashed and all microarchitectural state
+    /// (predictors, DTLB, caches, shadow/privileged registers) is flushed,
+    /// making the post-reset machine exactly equivalent to a fresh machine
+    /// restored from a functional checkpoint at that boundary. This is the
+    /// exactness foundation of interval-parallel simulation: per-interval
+    /// `Stats` sum to the monolithic run's field-for-field. Like
+    /// `idle_skip`, the epoch schedule is a property of *how* a run is
+    /// executed, set by the bench layer from the instruction budget — but
+    /// unlike `idle_skip` it changes simulated behavior, so the bench layer
+    /// applies one schedule uniformly to every mode of a given budget.
+    pub(crate) epoch_len: Option<u64>,
     /// The `--check` pipeline sanitizer (off by default; see
     /// [`Machine::set_check`]). Like `idle_skip`, deliberately *not* part
     /// of [`MachineConfig`]: checking is observation-only and must not
@@ -219,6 +233,7 @@ impl Machine {
             completion_scratch: Vec::new(),
             consumer_scratch: Vec::new(),
             waiter_scratch: Vec::new(),
+            epoch_len: None,
             checker: None,
             tracer: None,
         }
@@ -405,6 +420,7 @@ impl Machine {
         t.state = ThreadState::Run;
         t.space = Some(space_idx);
         t.asid = asid;
+        t.arch_pc = entry;
         t.fetch_pc = entry;
         t.fetch_pal = false;
         t.fetch_stopped = false;
@@ -473,6 +489,28 @@ impl Machine {
         self.skipped_cycles
     }
 
+    /// Sets the deterministic epoch length (`None` disables epochs, the
+    /// default): every `len` retired user instructions on thread 0, the
+    /// machine squashes all in-flight work and flushes all
+    /// microarchitectural state, making the post-reset state exactly what a
+    /// fresh machine restored from a functional checkpoint at that boundary
+    /// would simulate. See the `epoch_len` field for the exactness
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is `Some(0)`.
+    pub fn set_epoch_len(&mut self, len: Option<u64>) {
+        assert_ne!(len, Some(0), "epoch length must be positive");
+        self.epoch_len = len;
+    }
+
+    /// The configured epoch length, if any.
+    #[must_use]
+    pub fn epoch_len(&self) -> Option<u64> {
+        self.epoch_len
+    }
+
     /// Runs until every application thread has halted (HALT retired or
     /// budget reached) or `max_cycles` elapse. Returns the statistics.
     ///
@@ -482,8 +520,21 @@ impl Machine {
     /// next cycle at which anything can happen, with accounting identical
     /// to ticking through them.
     pub fn run(&mut self, max_cycles: u64) -> &Stats {
+        self.run_until_retired(0, u64::MAX, max_cycles)
+    }
+
+    /// Runs like [`Machine::run`], but also stops once context `tid` has
+    /// retired `target` user instructions *without* freezing it — the
+    /// interior-interval primitive of interval-parallel simulation: with an
+    /// epoch schedule whose boundaries include `target`, the machine's own
+    /// epoch reset fires at the boundary retirement, the remainder of that
+    /// cycle is inert, and the loop exits with the thread still runnable,
+    /// leaving `stats` exactly the prefix a monolithic run accumulates up
+    /// to and including the boundary cycle.
+    pub fn run_until_retired(&mut self, tid: usize, target: u64, max_cycles: u64) -> &Stats {
         let deadline = self.cycle + max_cycles;
         while self.cycle < deadline
+            && self.threads[tid].retired_user < target
             && self
                 .threads
                 .iter()
@@ -813,6 +864,91 @@ impl Machine {
         t.state = ThreadState::Halted;
         t.fetch_stopped = true;
         self.stats.threads[tid].finished_at = Some(now);
+    }
+
+    /// The deterministic epoch reset (see [`Machine::set_epoch_len`]):
+    /// squashes every in-flight instruction on every context and flushes
+    /// all microarchitectural state, leaving the machine in exactly the
+    /// state a fresh machine restored from a functional checkpoint at this
+    /// retirement boundary would be in — shifted by the current cycle and
+    /// an order-preserving renumbering of fetch sequence numbers, neither
+    /// of which reaches simulated behavior.
+    ///
+    /// Fires inside the retire phase of the boundary cycle; the remaining
+    /// phases of that cycle are inert (fetch is stalled until `now + 1`,
+    /// and every queue feeding the other phases is empty), so the
+    /// continuation's first active cycle aligns with a restored machine's
+    /// cycle 0.
+    pub(crate) fn epoch_reset(&mut self, now: u64) {
+        // Pass 1: squash every running context's in-flight work. Squashing
+        // an excepting instruction releases its handler context through the
+        // `handler_tid` link (withdrawing speculative fills), so handler
+        // state drains here too.
+        for tid in 0..self.threads.len() {
+            if !matches!(self.threads[tid].state, ThreadState::Run) {
+                continue;
+            }
+            if self.tracer.is_some() {
+                let resume_pc = self.threads[tid].arch_pc;
+                self.emit(TraceEvent::Squash {
+                    cycle: now,
+                    tid: tid as u64,
+                    from_seq: 0,
+                    cause: SquashCause::Epoch,
+                    resume_pc,
+                });
+            }
+            self.squash_thread_from(tid, 0);
+        }
+        // Every live handler hangs off some master's excepting instruction,
+        // so pass 1 should have drained them all; reclaim stragglers rather
+        // than leak a context if that invariant ever breaks.
+        debug_assert!(self.handlers.is_empty(), "epoch reset left an active handler");
+        while let Some(h) = self.handlers.first() {
+            let handler_tid = h.handler_tid;
+            self.release_handler(handler_tid, false);
+        }
+        // Pass 2: rebuild per-context state. Idle contexts are replaced
+        // wholesale (a released handler leaves committed shadow-register
+        // residue a fresh machine would not have); running contexts keep
+        // exactly what a functional checkpoint records — architectural
+        // registers, address space, retirement counts, budget — and have
+        // everything else re-zeroed, with fetch redirected to the committed
+        // architectural PC.
+        for t in &mut self.threads {
+            match t.state {
+                ThreadState::Idle => *t = ThreadContext::new(),
+                ThreadState::Run => {
+                    t.clear_inflight();
+                    t.bu = smtx_branch::BranchUnit::paper_baseline();
+                    t.shadow_regs = [0; 32];
+                    t.priv_regs = [0; 8];
+                    t.fetch_pc = t.arch_pc;
+                    t.fetch_pal = false;
+                    t.fetch_stopped = false;
+                    t.fetch_stalled_until = now + 1;
+                }
+                // Unreachable after pass 1; reset defensively like Idle.
+                ThreadState::Exception { .. } => *t = ThreadContext::new(),
+                // A halted thread's terminal state is part of the run's
+                // result; leave it be.
+                ThreadState::Halted => {}
+            }
+        }
+        // Machine-wide microarchitectural state: everything here describes
+        // in-flight work (all squashed) or performance-model memory state
+        // (caches, TLB), which a restored machine starts cold. The memory
+        // system's fill timestamps are compared only against the current
+        // cycle, so a fresh one behaves at cycle `c + k` exactly as a fresh
+        // one at cycle `k` — offset invariance, which the interval
+        // exactness tests pin down.
+        self.events.clear();
+        self.pending_issue.clear();
+        self.ready_seqs.clear();
+        self.walks.clear();
+        self.waiters.clear();
+        self.memsys = MemorySystem::new(self.config.mem);
+        self.dtlb.flush();
     }
 
     #[cfg(debug_assertions)]

@@ -170,6 +170,14 @@ impl Interpreter {
         self.dtlb_misses
     }
 
+    /// Flushes the architectural miss-counting DTLB (entries only; the
+    /// accumulated miss count is preserved). The bench layer applies this
+    /// on the machine's epoch-reset schedule so the penalty-per-miss
+    /// denominator shares the detailed model's TLB renewal semantics.
+    pub fn flush_dtlb(&mut self) {
+        self.dtlb.flush();
+    }
+
     fn read_int(&self, r: u8) -> u64 {
         if r == 31 {
             0

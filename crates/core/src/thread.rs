@@ -46,6 +46,13 @@ pub struct ThreadContext {
     /// ASID cached from the address space.
     pub asid: Asid,
 
+    /// Committed architectural PC: the address of the next *user*
+    /// instruction to execute, updated at every user-mode retirement.
+    /// This is where fetch resumes after an epoch reset (interval-parallel
+    /// exactness), mirroring the PC a functional checkpoint at the same
+    /// retirement boundary would record.
+    pub arch_pc: u64,
+
     // ---- fetch control ----
     /// Next fetch PC.
     pub fetch_pc: u64,
@@ -112,6 +119,7 @@ impl ThreadContext {
             priv_regs: [0; 8],
             space: None,
             asid: 0,
+            arch_pc: 0,
             fetch_pc: 0,
             fetch_pal: false,
             fetch_stalled_until: 0,

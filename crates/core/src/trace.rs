@@ -35,6 +35,12 @@ pub enum SquashCause {
     /// The thread halted (budget reached or `HALT` retired); nothing is
     /// refetched.
     Freeze,
+    /// A deterministic epoch reset (interval-parallel exactness): every
+    /// in-flight instruction on every context is squashed and all
+    /// microarchitectural state is flushed, so simulation is resumable
+    /// from a functional checkpoint at the boundary. Fetch resumes at the
+    /// committed architectural PC.
+    Epoch,
 }
 
 impl SquashCause {
@@ -46,6 +52,7 @@ impl SquashCause {
             SquashCause::Trap => 1,
             SquashCause::Deadlock => 2,
             SquashCause::Freeze => 3,
+            SquashCause::Epoch => 4,
         }
     }
 
@@ -57,6 +64,7 @@ impl SquashCause {
             1 => Some(SquashCause::Trap),
             2 => Some(SquashCause::Deadlock),
             3 => Some(SquashCause::Freeze),
+            4 => Some(SquashCause::Epoch),
             _ => None,
         }
     }
@@ -69,6 +77,7 @@ impl SquashCause {
             SquashCause::Trap => "trap",
             SquashCause::Deadlock => "deadlock",
             SquashCause::Freeze => "freeze",
+            SquashCause::Epoch => "epoch",
         }
     }
 }
@@ -395,6 +404,7 @@ mod tests {
             SquashCause::Trap,
             SquashCause::Deadlock,
             SquashCause::Freeze,
+            SquashCause::Epoch,
         ] {
             assert_eq!(SquashCause::from_code(c.code()), Some(c));
         }

@@ -393,6 +393,16 @@ impl WaiterMap {
     pub fn keys(&self) -> impl Iterator<Item = (Asid, u64)> + '_ {
         self.entries.iter().map(|(k, _)| *k)
     }
+
+    /// Drops every entry without waking anyone (epoch reset: the parked
+    /// instructions are being squashed wholesale). Waiter lists return to
+    /// the pool so post-reset churn stays allocation-free.
+    pub fn clear(&mut self) {
+        for (_, mut list) in self.entries.drain(..) {
+            list.clear();
+            self.pool.push(list);
+        }
+    }
 }
 
 #[cfg(test)]

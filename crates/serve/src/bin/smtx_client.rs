@@ -23,7 +23,7 @@ use smtx_serve::json::{quote, Json};
 const USAGE: &str = "usage: smtx-client [--addr HOST:PORT] <command>
   submit (--experiment NAME | --kernel NAME [--mechanism M] [--idle N])
          [--insts N] [--seed N] [--check on|off] [--trace on|off]
-         [--deadline-ms N] [--wait] [--out PATH]
+         [--intervals N] [--deadline-ms N] [--wait] [--out PATH]
          (--trace on captures a binary event trace, kernel runs only;
           download it from GET /v1/jobs/<id>/trace once the job is done)
   status <id>
@@ -71,6 +71,7 @@ struct Submit {
     seed: Option<u64>,
     check: Option<bool>,
     trace: Option<bool>,
+    intervals: Option<u64>,
     deadline_ms: Option<u64>,
     wait: bool,
     out: Option<String>,
@@ -86,6 +87,7 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> Submit {
         seed: None,
         check: None,
         trace: None,
+        intervals: None,
         deadline_ms: None,
         wait: false,
         out: None,
@@ -117,6 +119,9 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> Submit {
                     "off" => false,
                     other => die(&format!("--trace: expected `on` or `off`, got `{other}`")),
                 });
+            }
+            "--intervals" => {
+                s.intervals = Some(num("--intervals", value_for("--intervals")));
             }
             "--deadline-ms" => {
                 s.deadline_ms = Some(num("--deadline-ms", value_for("--deadline-ms")));
@@ -157,6 +162,9 @@ fn submit_body(s: &Submit) -> String {
     }
     if let Some(t) = s.trace {
         fields.push(format!("\"trace\": {t}"));
+    }
+    if let Some(n) = s.intervals {
+        fields.push(format!("\"intervals\": {n}"));
     }
     if let Some(d) = s.deadline_ms {
         fields.push(format!("\"deadline_ms\": {d}"));

@@ -321,6 +321,12 @@ impl Segment {
                     }
                     SquashCause::Freeze => self.close_phase(tid, cycle),
                     SquashCause::Mispredict => {}
+                    // An epoch reset squashes wholesale but opens no trap
+                    // phase: its refill cost is a boundary artifact of
+                    // interval execution, not exception servicing. Any
+                    // episode it covered was closed above; any open trap
+                    // phase closes at the reset cycle.
+                    SquashCause::Epoch => self.close_phase(tid, cycle),
                 }
             }
             TraceEvent::Raise { cycle, tid, seq, kind, .. } => match kind {

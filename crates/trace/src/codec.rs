@@ -287,6 +287,13 @@ mod tests {
                 cause: SquashCause::Mispredict,
                 resume_pc: u64::MAX,
             },
+            TraceEvent::Squash {
+                cycle: 32,
+                tid: 0,
+                from_seq: 0,
+                cause: SquashCause::Epoch,
+                resume_pc: 0x1_0040,
+            },
             TraceEvent::Revert {
                 cycle: 40,
                 tid: 0,

@@ -90,6 +90,12 @@ impl<K: Hash + Ord + Clone, V: Clone> ShardMap<K, V> {
         self.lock_shard(&key).entry(key).or_insert_with(make).clone()
     }
 
+    /// Removes and returns the value for `key`, if present (cache
+    /// eviction).
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.lock_shard(key).remove(key)
+    }
+
     /// Total entries across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -144,6 +150,10 @@ mod tests {
         assert_eq!(m.get(&3), Some(30));
         assert!(m.contains(&3));
         assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(&3), Some(30));
+        assert_eq!(m.remove(&3), None);
+        assert!(!m.contains(&3));
+        assert_eq!(m.len(), 0);
     }
 
     #[test]

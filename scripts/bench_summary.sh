@@ -41,7 +41,7 @@ SKIP=80000
 DETAILED=20000
 JOBS=0
 PR=""
-ALGO="slot-arena SoA window + batched wake lists + lock-sharded caches, on the two-tier engine"
+ALGO="interval-parallel chunked simulation (epoch-aligned checkpoint series), on the two-tier engine"
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --insts) INSTS="$2"; shift 2 ;;
@@ -79,6 +79,15 @@ diff "$TMP/ref.txt" <("$NAIVE" --insts 2000 --skip 6000) \
     && echo "ok: naive == runner under fast-forward"
 diff "$TMP/ref.txt" <("$FAST" --insts 2000 --skip 6000 --check on) \
     && echo "ok: --check is observation-only (identical rows)"
+# 12k instructions span two whole 5000-instruction epochs, so --intervals 8
+# genuinely splits the window (clamped to one chunk per epoch) instead of
+# degenerating to the monolithic case.
+diff <("$FAST" --insts 12000 --jobs "$JOBS") \
+     <("$FAST" --insts 12000 --jobs "$JOBS" --intervals 8) \
+    && echo "ok: --intervals is scheduling-only at skip 0 (identical rows)"
+diff <("$FAST" --insts 12000 --skip 6000 --jobs "$JOBS") \
+     <("$FAST" --insts 12000 --skip 6000 --jobs "$JOBS" --intervals 8) \
+    && echo "ok: --intervals is scheduling-only under fast-forward (identical rows)"
 
 ms() { # ms <out-var> <cmd...>
     local __var=$1; shift
@@ -96,6 +105,8 @@ ms TWO_MS   "$FAST" --insts "$DETAILED" --skip "$SKIP" --jobs "$JOBS" --json "$T
 echo "two_tier   (--insts $DETAILED --skip $SKIP):          ${TWO_MS} ms"
 ms CHECK_MS "$FAST" --insts "$DETAILED" --skip "$SKIP" --jobs "$JOBS" --check on
 echo "two_tier_check (same window, --check on):             ${CHECK_MS} ms"
+ms IPAR_MS  "$FAST" --insts "$DETAILED" --skip "$SKIP" --jobs "$JOBS" --intervals 4
+echo "interval_par (same window, --intervals 4):            ${IPAR_MS} ms"
 
 echo "== timing fig2 and fig7 (pr1 path, then two tier) =="
 ms FIG2_PR1 ./target/release/fig2 --insts "$INSTS" --jobs "$JOBS" --checkpoint off --idle-skip off
@@ -105,12 +116,12 @@ ms FIG7_PR1 ./target/release/fig7 --insts "$INSTS" --jobs "$JOBS" --checkpoint o
 ms FIG7_MS ./target/release/fig7 --insts "$DETAILED" --skip "$SKIP" --jobs "$JOBS" --json "$TMP/fig7.json"
 echo "fig7: pr1 path ${FIG7_PR1} ms, two tier (--insts $DETAILED --skip $SKIP) ${FIG7_MS} ms"
 
-python3 - "$TMP" "$PR1_MS" "$IDLE_MS" "$TWO_MS" "$FIG2_MS" "$FIG7_MS" "$FIG2_PR1" "$FIG7_PR1" "$CHECK_MS" "$PR" "$ALGO" <<'PY'
+python3 - "$TMP" "$PR1_MS" "$IDLE_MS" "$TWO_MS" "$FIG2_MS" "$FIG7_MS" "$FIG2_PR1" "$FIG7_PR1" "$CHECK_MS" "$IPAR_MS" "$PR" "$ALGO" <<'PY'
 import json, os, sys
 
 tmp = sys.argv[1]
-pr1_ms, idle_ms, two_ms, fig2_ms, fig7_ms, fig2_pr1, fig7_pr1, check_ms, pr = map(int, sys.argv[2:11])
-algo = sys.argv[11]
+pr1_ms, idle_ms, two_ms, fig2_ms, fig7_ms, fig2_pr1, fig7_pr1, check_ms, ipar_ms, pr = map(int, sys.argv[2:12])
+algo = sys.argv[12]
 
 def load(path):
     return json.load(open(path)) if os.path.exists(path) else None
@@ -162,7 +173,7 @@ def record(name, report, wall_ms, modes, algorithm, pr1_path_ms):
 
 record("fig5", load(f"{tmp}/fig5.json"), two_ms,
        {"pr1_path_ms": pr1_ms, "idle_skip_ms": idle_ms, "two_tier_ms": two_ms,
-        "two_tier_check_ms": check_ms},
+        "two_tier_check_ms": check_ms, "interval_par_ms": ipar_ms},
        algo, pr1_ms)
 record("fig2", load(f"{tmp}/fig2.json"), fig2_ms,
        {"pr1_path_ms": fig2_pr1, "two_tier_ms": fig2_ms}, algo, fig2_pr1)
